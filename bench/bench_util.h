@@ -1,0 +1,72 @@
+#ifndef PORYGON_BENCH_BENCH_UTIL_H_
+#define PORYGON_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure from the paper's §VI and prints
+// the same series, labelled with the paper's reported values where
+// available so the shape comparison is immediate.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "workload/generator.h"
+
+namespace porygon::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-18s", c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int digits = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+inline std::string FmtInt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+/// Drives a Porygon prototype run under saturating load: before each round,
+/// tops the mempool up so every shard can fill its blocks, then runs one
+/// round. Returns the sustained TPS over the measured window.
+struct PrototypeRun {
+  double tps = 0;
+  double block_latency_s = 0;
+  double commit_latency_s = 0;
+  double user_latency_s = 0;
+};
+
+inline PrototypeRun RunSaturated(core::PorygonSystem* sys,
+                                 workload::WorkloadGenerator* gen,
+                                 int rounds, size_t txs_per_round) {
+  // Warmup fills the pipeline (first commits lag by the pipeline depth).
+  const int warmup = 4;
+  for (int r = 0; r < rounds + warmup; ++r) {
+    for (const auto& t : gen->Batch(txs_per_round)) {
+      sys->SubmitTransaction(t);
+    }
+    sys->Run(1);
+  }
+  const auto& m = sys->metrics();
+  PrototypeRun out;
+  double duration = sys->sim_seconds();
+  out.tps = m.Tps(duration);
+  out.block_latency_s = core::SystemMetrics::Mean(m.block_latencies_s);
+  out.commit_latency_s = core::SystemMetrics::Mean(m.commit_latencies_s);
+  out.user_latency_s = core::SystemMetrics::Mean(m.user_latencies_s);
+  return out;
+}
+
+}  // namespace porygon::bench
+
+#endif  // PORYGON_BENCH_BENCH_UTIL_H_

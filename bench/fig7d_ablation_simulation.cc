@@ -1,0 +1,45 @@
+// Fig 7(d): optimization ablation at simulation scale — the same 1D -> 2D
+// -> 3D staircase as Fig 7(c) but with large committees, showing that
+// pipelining and sharding each contribute at scale.
+
+#include "bench_util.h"
+#include "simulation/model.h"
+
+int main() {
+  using namespace porygon;
+  bench::PrintHeader(
+      "Fig 7(d): optimization ablation, simulation (pipelining and shards "
+      "each lift throughput)");
+  bench::PrintRow({"configuration", "TPS", "latency_s"});
+
+  sim::ModelConfig base;
+  base.nodes_per_shard = 2000;
+  base.txs_per_block = 2000;
+  base.blocks_per_shard_round = 1;
+  base.cross_shard_ratio = 0.5;
+
+  {
+    sim::ModelConfig cfg = base;
+    cfg.pipelining = false;
+    cfg.sharding = false;
+    auto r = sim::EstimatePorygon(cfg);
+    bench::PrintRow({"1D:Baseline", bench::FmtInt(r.tps),
+                     bench::Fmt(r.block_latency_s)});
+  }
+  {
+    sim::ModelConfig cfg = base;
+    cfg.pipelining = true;
+    cfg.sharding = false;
+    auto r = sim::EstimatePorygon(cfg);
+    bench::PrintRow({"2D:+Pipelining", bench::FmtInt(r.tps),
+                     bench::Fmt(r.block_latency_s)});
+  }
+  for (int shards : {2, 5, 10}) {
+    sim::ModelConfig cfg = base;
+    cfg.shards = shards;
+    auto r = sim::EstimatePorygon(cfg);
+    bench::PrintRow({"3D:+" + std::to_string(shards) + " shards",
+                     bench::FmtInt(r.tps), bench::Fmt(r.block_latency_s)});
+  }
+  return 0;
+}

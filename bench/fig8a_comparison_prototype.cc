@@ -1,0 +1,94 @@
+// Fig 8(a): prototype throughput comparison as the network grows (paper:
+// 50 -> 300 nodes; ByShard 2,260 -> 9,150 TPS, Blockene flat ~750 TPS,
+// Porygon > 21,090 TPS at 300 nodes; 10 nodes per shard for the sharded
+// systems).
+
+#include "baselines/blockene.h"
+#include "baselines/byshard.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace porygon;
+  bench::PrintHeader(
+      "Fig 8(a): prototype comparison (paper at 300 nodes: Porygon 21,090 / "
+      "ByShard 9,150 / Blockene ~750 TPS)");
+  bench::PrintRow({"nodes", "porygon_tps", "byshard_tps", "blockene_tps"});
+
+  for (int shard_bits : {2, 3, 4, 5}) {
+    const int shards = 1 << shard_bits;
+    const int nodes = shards * 10;
+
+    double porygon_tps = 0;
+    {
+      core::SystemOptions opt;
+      opt.params.shard_bits = shard_bits;
+      opt.params.witness_threshold = 2;
+      opt.params.execution_threshold = 2;
+      opt.params.block_tx_limit = 2000;
+      opt.params.storage_connections = 2;
+      opt.num_storage_nodes = 2;
+      opt.num_stateless_nodes = nodes;
+      opt.oc_size = 8;
+      opt.blocks_per_shard_round = 2;
+      opt.seed = 21;
+      core::PorygonSystem sys(opt);
+      sys.CreateAccounts(1'000'000, 1'000'000);
+      workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
+                                       .shard_bits = shard_bits,
+                                       .cross_shard_ratio = 0.1,
+                                       .seed = 5});
+      size_t per_round = opt.blocks_per_shard_round *
+                         opt.params.block_tx_limit *
+                         static_cast<size_t>(shards);
+      porygon_tps = bench::RunSaturated(&sys, &gen, 8, per_round).tps;
+    }
+
+    double byshard_tps = 0;
+    {
+      baselines::ByshardOptions opt;
+      opt.shard_bits = shard_bits;
+      opt.nodes_per_shard = 10;
+      opt.block_tx_limit = 1000;  // §VI: ~1,000-tx blocks in ByShard.
+      opt.seed = 21;
+      baselines::ByshardSystem sys(opt);
+      sys.CreateAccounts(1'000'000, 1'000'000);
+      workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
+                                       .shard_bits = shard_bits,
+                                       .cross_shard_ratio = 0.1,
+                                       .seed = 5});
+      for (int r = 0; r < 10; ++r) {
+        for (const auto& t :
+             gen.Batch(opt.block_tx_limit * static_cast<size_t>(shards))) {
+          sys.SubmitTransaction(t);
+        }
+        sys.Run(1);
+      }
+      byshard_tps = sys.metrics().Tps(sys.sim_seconds());
+    }
+
+    double blockene_tps = 0;
+    {
+      baselines::BlockeneOptions opt;
+      opt.num_stateless_nodes = nodes;
+      opt.committee_size = 10;
+      opt.block_tx_limit = 2000;
+      opt.seed = 21;
+      baselines::BlockeneSystem sys(opt);
+      sys.CreateAccounts(1'000'000, 1'000'000);
+      workload::WorkloadGenerator gen(
+          {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 5});
+      for (int r = 0; r < 10; ++r) {
+        for (const auto& t : gen.Batch(opt.block_tx_limit)) {
+          sys.SubmitTransaction(t);
+        }
+        sys.Run(1);
+      }
+      blockene_tps = sys.metrics().Tps(sys.sim_seconds());
+    }
+
+    bench::PrintRow({std::to_string(nodes), bench::FmtInt(porygon_tps),
+                     bench::FmtInt(byshard_tps),
+                     bench::FmtInt(blockene_tps)});
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 8(b): throughput comparison in large-scale simulations as the node
+// count grows 100 -> 1,000 (paper: Porygon 8,760 -> 57,220 TPS with the
+// fastest growth; ByShard grows more slowly; Blockene stays flat).
+
+#include "bench_util.h"
+#include "simulation/model.h"
+
+int main() {
+  using namespace porygon;
+  bench::PrintHeader(
+      "Fig 8(b): simulation comparison 100->1,000 nodes (paper: Porygon "
+      "8,760->57,220 TPS)");
+  bench::PrintRow({"nodes", "porygon_tps", "byshard_tps", "blockene_tps"});
+
+  for (int nodes : {100, 200, 400, 600, 800, 1000}) {
+    const int shards = nodes / 10;  // 10 nodes per shard.
+
+    sim::ModelConfig porygon;
+    porygon.num_nodes = nodes;
+    porygon.shards = shards;
+    porygon.nodes_per_shard = 10;
+    porygon.txs_per_block = 2000;
+    porygon.blocks_per_shard_round = 1;
+    porygon.cross_shard_ratio = 0.5;
+    porygon.oc_size = 10;
+
+    sim::ModelConfig byshard = porygon;
+    byshard.txs_per_block = 1000;
+
+    sim::ModelConfig blockene = porygon;
+    blockene.txs_per_block = 2000;
+
+    bench::PrintRow({std::to_string(nodes),
+                     bench::FmtInt(sim::EstimatePorygon(porygon).tps),
+                     bench::FmtInt(sim::EstimateByshard(byshard).tps),
+                     bench::FmtInt(sim::EstimateBlockene(blockene).tps)});
+  }
+  return 0;
+}

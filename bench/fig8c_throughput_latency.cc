@@ -1,0 +1,108 @@
+// Fig 8(c): throughput versus latency under varied submission rates
+// (100 nodes; 10 shards for the sharded systems in the paper, 8 here).
+// The paper observes Porygon sustaining the highest load: its latency
+// starts higher (storage<->stateless hops) but stays moderate while its
+// capacity exceeds ByShard's and Blockene's.
+
+#include "baselines/blockene.h"
+#include "baselines/byshard.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace porygon;
+  bench::PrintHeader(
+      "Fig 8(c): throughput vs latency under varied submission rates "
+      "(100 nodes)");
+  bench::PrintRow({"system", "offered_tps", "achieved_tps", "user_lat_s"});
+
+  const int shard_bits = 3;  // 8 shards.
+  const int rounds = 8;
+
+  for (double offered : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    core::SystemOptions opt;
+    opt.params.shard_bits = shard_bits;
+    opt.params.witness_threshold = 2;
+    opt.params.execution_threshold = 2;
+    opt.params.block_tx_limit = 2000;
+    opt.num_storage_nodes = 2;
+    opt.num_stateless_nodes = 100;
+    opt.oc_size = 10;
+    opt.blocks_per_shard_round = 2;
+    opt.seed = 33;
+    core::PorygonSystem sys(opt);
+    sys.CreateAccounts(1'000'000, 1'000'000);
+    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
+                                     .shard_bits = shard_bits,
+                                     .cross_shard_ratio = 0.1,
+                                     .seed = 6});
+    // Open-loop: submit `offered` TPS worth of load per (estimated) round.
+    const double est_round_s = 5.0;
+    for (int r = 0; r < rounds + 4; ++r) {
+      size_t n = static_cast<size_t>(offered * est_round_s);
+      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
+      sys.Run(1);
+    }
+    const auto& m = sys.metrics();
+    bench::PrintRow({"Porygon", bench::FmtInt(offered),
+                     bench::FmtInt(m.Tps(sys.sim_seconds())),
+                     bench::Fmt(core::SystemMetrics::Mean(
+                         m.user_latencies_s))});
+  }
+
+  for (double offered : {500.0, 1000.0, 2000.0, 4000.0}) {
+    baselines::ByshardOptions opt;
+    opt.shard_bits = shard_bits;
+    opt.nodes_per_shard = 12;
+    opt.block_tx_limit = 1000;
+    opt.seed = 33;
+    baselines::ByshardSystem sys(opt);
+    sys.CreateAccounts(1'000'000, 1'000'000);
+    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
+                                     .shard_bits = shard_bits,
+                                     .cross_shard_ratio = 0.1,
+                                     .seed = 6});
+    const double est_round_s = 4.0;
+    for (int r = 0; r < 10; ++r) {
+      size_t n = static_cast<size_t>(offered * est_round_s);
+      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
+      sys.Run(1);
+    }
+    const auto& m = sys.metrics();
+    double mean_user = 0;
+    if (!m.user_latencies_s.empty()) {
+      for (double v : m.user_latencies_s) mean_user += v;
+      mean_user /= m.user_latencies_s.size();
+    }
+    bench::PrintRow({"ByShard", bench::FmtInt(offered),
+                     bench::FmtInt(m.Tps(sys.sim_seconds())),
+                     bench::Fmt(mean_user)});
+  }
+
+  for (double offered : {250.0, 500.0, 1000.0}) {
+    baselines::BlockeneOptions opt;
+    opt.num_stateless_nodes = 100;
+    opt.committee_size = 10;
+    opt.block_tx_limit = 2000;
+    opt.seed = 33;
+    baselines::BlockeneSystem sys(opt);
+    sys.CreateAccounts(1'000'000, 1'000'000);
+    workload::WorkloadGenerator gen(
+        {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 6});
+    const double est_round_s = 7.0;
+    for (int r = 0; r < 10; ++r) {
+      size_t n = static_cast<size_t>(offered * est_round_s);
+      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
+      sys.Run(1);
+    }
+    const auto& m = sys.metrics();
+    double mean_user = 0;
+    if (!m.user_latencies_s.empty()) {
+      for (double v : m.user_latencies_s) mean_user += v;
+      mean_user /= m.user_latencies_s.size();
+    }
+    bench::PrintRow({"Blockene", bench::FmtInt(offered),
+                     bench::FmtInt(m.Tps(sys.sim_seconds())),
+                     bench::Fmt(mean_user)});
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 8(d): throughput under node churn. The paper varies how long nodes
+// stay in the network: Blockene's committees must survive 50 sequential
+// blocks, so short sessions stall them into empty blocks; Porygon's EC
+// members serve only 3 rounds, so it degrades gracefully.
+
+#include "baselines/blockene.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace porygon;
+  bench::PrintHeader(
+      "Fig 8(d): throughput vs node participating time (Blockene's 50-block "
+      "committees stall under churn; Porygon's 3-round ECs do not)");
+  bench::PrintRow({"session_s", "porygon_tps", "blockene_tps",
+                   "blockene_empty_rounds"});
+
+  const int shard_bits = 2;  // 4 shards, 48 stateless nodes.
+
+  for (double session_s : {15.0, 30.0, 60.0, 120.0, 0.0 /* = infinite */}) {
+    double porygon_tps = 0;
+    {
+      core::SystemOptions opt;
+      opt.params.shard_bits = shard_bits;
+      opt.params.witness_threshold = 2;
+      opt.params.execution_threshold = 2;
+      opt.params.block_tx_limit = 1000;
+      opt.num_storage_nodes = 2;
+      opt.num_stateless_nodes = 48;
+      opt.oc_size = 6;
+      opt.blocks_per_shard_round = 2;
+      opt.mean_session_s = session_s;
+      opt.seed = 17;
+      core::PorygonSystem sys(opt);
+      sys.CreateAccounts(500'000, 1'000'000);
+      workload::WorkloadGenerator gen({.num_accounts = 500'000,
+                                       .shard_bits = shard_bits,
+                                       .cross_shard_ratio = 0.1,
+                                       .seed = 8});
+      size_t per_round = opt.blocks_per_shard_round *
+                         opt.params.block_tx_limit * size_t{1 << shard_bits};
+      porygon_tps = bench::RunSaturated(&sys, &gen, 10, per_round).tps;
+    }
+
+    double blockene_tps = 0;
+    uint64_t blockene_empty = 0;
+    {
+      baselines::BlockeneOptions opt;
+      opt.num_stateless_nodes = 48;
+      opt.committee_size = 10;
+      opt.committee_tenure_rounds = 50;  // Paper: 50 blocks per committee.
+      opt.block_tx_limit = 2000;
+      opt.mean_session_s = session_s;
+      opt.seed = 17;
+      baselines::BlockeneSystem sys(opt);
+      sys.CreateAccounts(500'000, 1'000'000);
+      workload::WorkloadGenerator gen(
+          {.num_accounts = 500'000, .shard_bits = 0, .seed = 8});
+      for (int r = 0; r < 14; ++r) {
+        for (const auto& t : gen.Batch(2000)) sys.SubmitTransaction(t);
+        sys.Run(1);
+      }
+      blockene_tps = sys.metrics().Tps(sys.sim_seconds());
+      blockene_empty = sys.metrics().empty_rounds;
+    }
+
+    std::string label =
+        session_s == 0 ? "infinite" : bench::FmtInt(session_s);
+    bench::PrintRow({label, bench::FmtInt(porygon_tps),
+                     bench::FmtInt(blockene_tps),
+                     std::to_string(blockene_empty)});
+  }
+  return 0;
+}

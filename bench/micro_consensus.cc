@@ -1,0 +1,85 @@
+// Consensus/committee microbenchmarks: BA* decision rounds and VRF
+// sortition assignment/verification, at committee sizes used by the
+// prototype experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/ba_star.h"
+#include "core/committee.h"
+#include "crypto/provider.h"
+
+namespace {
+using namespace porygon;
+using namespace porygon::consensus;
+
+// Full BA* decision among n members over an in-memory bus.
+void BM_BaStarDecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  crypto::FastProvider provider;
+  Rng rng(1);
+  std::vector<crypto::KeyPair> keys;
+  std::vector<crypto::PublicKey> members;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(provider.GenerateKeyPair(&rng));
+    members.push_back(keys.back().public_key);
+  }
+  crypto::Hash256 value{};
+  value[0] = 9;
+
+  for (auto _ : state) {
+    std::vector<Vote> bus;
+    std::vector<std::unique_ptr<BaStar>> nodes;
+    int decided = 0;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<BaStar>(
+          &provider, keys[i], members,
+          [&bus](const Vote& v) { bus.push_back(v); },
+          [&decided](const DecisionCert&) { ++decided; }));
+    }
+    for (auto& node : nodes) node->Propose(1, value);
+    while (!bus.empty()) {
+      std::vector<Vote> batch = std::move(bus);
+      bus.clear();
+      for (const Vote& v : batch) {
+        for (auto& node : nodes) node->OnVote(v);
+      }
+    }
+    benchmark::DoNotOptimize(decided);
+  }
+}
+BENCHMARK(BM_BaStarDecision)->Arg(4)->Arg(10)->Arg(30);
+
+void BM_SortitionAssign(benchmark::State& state) {
+  crypto::FastProvider provider;
+  Rng rng(2);
+  crypto::KeyPair kp = provider.GenerateKeyPair(&rng);
+  crypto::Hash256 prev{};
+  uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Sortition::Assign(
+        &provider, kp.private_key, ++round, prev, 0.1, 0.9, 4));
+  }
+}
+BENCHMARK(BM_SortitionAssign);
+
+void BM_SortitionVerify(benchmark::State& state) {
+  crypto::FastProvider provider;
+  Rng rng(3);
+  crypto::KeyPair kp = provider.GenerateKeyPair(&rng);
+  crypto::Hash256 prev{};
+  auto assignment = core::Sortition::Assign(&provider, kp.private_key, 5,
+                                            prev, 0.1, 0.9, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Sortition::Verify(
+        &provider, kp.public_key, 5, prev, 0.1, 0.9, 4, assignment));
+  }
+}
+BENCHMARK(BM_SortitionVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

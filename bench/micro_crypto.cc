@@ -1,0 +1,81 @@
+// Substrate microbenchmarks: hashing, Ed25519, VRF sortition.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+#include "crypto/vrf.h"
+
+namespace {
+using namespace porygon;
+using namespace porygon::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  Rng rng(2);
+  Bytes data = rng.NextBytes(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(65536);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  Rng rng(3);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = rng.NextBytes(112);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Sign(kp.private_key, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  Rng rng(4);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = rng.NextBytes(112);
+  Signature sig = Ed25519Sign(kp.private_key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_VrfProveAndVerify(benchmark::State& state) {
+  Rng rng(5);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes input = rng.NextBytes(40);
+  for (auto _ : state) {
+    VrfProof p = VrfProve(kp.private_key, input);
+    benchmark::DoNotOptimize(VrfVerify(kp.public_key, input, p));
+  }
+}
+BENCHMARK(BM_VrfProveAndVerify);
+
+void BM_FastProviderSign(benchmark::State& state) {
+  Rng rng(6);
+  FastProvider provider;
+  KeyPair kp = provider.GenerateKeyPair(&rng);
+  Bytes msg = rng.NextBytes(112);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.Sign(kp.private_key, msg));
+  }
+}
+BENCHMARK(BM_FastProviderSign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

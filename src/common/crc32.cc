@@ -1,0 +1,47 @@
+#include "common/crc32.h"
+
+namespace porygon {
+
+namespace {
+constexpr uint32_t kPoly = 0x82F63B78;  // Reflected CRC-32C polynomial.
+
+struct Table {
+  uint32_t t[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const uint32_t* CrcTable() {
+  static const Table kTable;
+  return kTable.t;
+}
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, ByteView data) {
+  const uint32_t* table = CrcTable();
+  crc = ~crc;
+  for (uint8_t b : data) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(ByteView data) { return Crc32cExtend(0, data); }
+
+uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace porygon

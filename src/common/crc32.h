@@ -1,0 +1,24 @@
+#ifndef PORYGON_COMMON_CRC32_H_
+#define PORYGON_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace porygon {
+
+/// CRC-32C (Castagnoli), table-driven. Guards WAL records and SSTable
+/// footers against torn writes and corruption.
+uint32_t Crc32c(ByteView data);
+
+/// Extends a running CRC with more data (init with `Crc32c({})`-style 0).
+uint32_t Crc32cExtend(uint32_t crc, ByteView data);
+
+/// Masked CRC (as in LevelDB) so that CRCs stored alongside CRC-covered data
+/// do not produce degenerate values.
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace porygon
+
+#endif  // PORYGON_COMMON_CRC32_H_

@@ -1,0 +1,36 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace porygon {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace porygon

@@ -1,0 +1,46 @@
+#ifndef PORYGON_COMMON_LOG_H_
+#define PORYGON_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace porygon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Simulations of 100k nodes emit a
+/// lot of events, so the default level is Warn; benches and examples raise it
+/// explicitly where narration helps.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_internal
+
+#define PORYGON_LOG(severity)                                        \
+  if (::porygon::LogLevel::severity < ::porygon::Logger::level())    \
+    ;                                                                \
+  else                                                               \
+    ::porygon::log_internal::LogLine(::porygon::LogLevel::severity)
+
+}  // namespace porygon
+
+#endif  // PORYGON_COMMON_LOG_H_

@@ -1,0 +1,135 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace porygon {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's method: multiply-shift with rejection in the biased zone.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBelow(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+Bytes Rng::NextBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t v = NextU64();
+    for (int k = 0; k < 8; ++k) out[i + k] = static_cast<uint8_t>(v >> (8 * k));
+    i += 8;
+  }
+  if (i < n) {
+    uint64_t v = NextU64();
+    for (; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  if (n <= 1 || s <= 0.0) return NextBelow(n == 0 ? 1 : n);
+  // Rejection-inversion sampling (Hormann & Derflinger). For s == 1 the
+  // integral H uses the log form.
+  auto h_integral = [s](double x) -> double {
+    const double log_x = std::log(x);
+    if (std::abs(s - 1.0) < 1e-12) return log_x;
+    return std::exp((1.0 - s) * log_x) / (1.0 - s);
+  };
+  auto h_integral_inverse = [s](double x) -> double {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(x);
+    double t = x * (1.0 - s);
+    if (t < -1.0) t = -1.0;
+    return std::exp(std::log1p(t) / (1.0 - s));
+  };
+  auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+
+  const double h_x1 = h_integral(1.5) - 1.0;
+  const double h_n = h_integral(static_cast<double>(n) + 0.5);
+  const double inv_s = 1.0 / (1.0 - s) * (std::abs(s - 1.0) < 1e-12 ? 0 : 1);
+  (void)inv_s;
+  while (true) {
+    double u = h_n + NextDouble() * (h_x1 - h_n);
+    double x = h_integral_inverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    double kd = static_cast<double>(k);
+    if (kd - x <= 0.5 ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;
+    }
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+}  // namespace porygon

@@ -1,0 +1,150 @@
+#include "consensus/ba_star.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace porygon::consensus {
+
+Bytes Vote::SigningBytes() const {
+  Encoder enc;
+  enc.PutString("porygon.vote");
+  enc.PutU64(instance);
+  enc.PutU32(step);
+  enc.PutU8(kind);
+  enc.PutFixed(ByteView(value.data(), value.size()));
+  return enc.TakeBuffer();
+}
+
+Bytes Vote::Encode() const {
+  Encoder enc;
+  enc.PutU64(instance);
+  enc.PutU32(step);
+  enc.PutU8(kind);
+  enc.PutFixed(ByteView(value.data(), value.size()));
+  enc.PutFixed(ByteView(voter.data(), voter.size()));
+  enc.PutFixed(ByteView(signature.data(), signature.size()));
+  return enc.TakeBuffer();
+}
+
+Result<Vote> Vote::Decode(ByteView data) {
+  Decoder dec(data);
+  Vote v;
+  PORYGON_ASSIGN_OR_RETURN(v.instance, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(v.step, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(v.kind, dec.GetU8());
+  if (v.kind > Vote::kCert) return Status::Corruption("bad vote kind");
+  PORYGON_ASSIGN_OR_RETURN(Bytes value, dec.GetFixed(32));
+  std::memcpy(v.value.data(), value.data(), 32);
+  PORYGON_ASSIGN_OR_RETURN(Bytes voter, dec.GetFixed(32));
+  std::memcpy(v.voter.data(), voter.data(), 32);
+  PORYGON_ASSIGN_OR_RETURN(Bytes sig, dec.GetFixed(64));
+  std::memcpy(v.signature.data(), sig.data(), 64);
+  if (!dec.Done()) return Status::Corruption("trailing vote bytes");
+  return v;
+}
+
+size_t DecisionCert::WireSize() const {
+  // instance + value + votes.
+  return 8 + 32 + votes.size() * (8 + 4 + 1 + 32 + 32 + 64);
+}
+
+bool BaStar::Key::operator<(const Key& o) const {
+  if (step != o.step) return step < o.step;
+  if (kind != o.kind) return kind < o.kind;
+  return std::memcmp(value.data(), o.value.data(), value.size()) < 0;
+}
+
+BaStar::BaStar(crypto::CryptoProvider* provider, crypto::KeyPair identity,
+               std::vector<crypto::PublicKey> committee,
+               VoteBroadcast broadcast, Decision on_decision)
+    : provider_(provider),
+      identity_(std::move(identity)),
+      committee_(std::move(committee)),
+      broadcast_(std::move(broadcast)),
+      on_decision_(std::move(on_decision)) {}
+
+bool BaStar::IsMember(const crypto::PublicKey& key) const {
+  return std::find(committee_.begin(), committee_.end(), key) !=
+         committee_.end();
+}
+
+void BaStar::Propose(uint64_t instance, const crypto::Hash256& proposal) {
+  if (started_) return;
+  started_ = true;
+  instance_ = instance;
+  proposal_ = proposal;
+  CastVote(Vote::kSoft, proposal_);
+}
+
+void BaStar::CastVote(uint8_t kind, const crypto::Hash256& value) {
+  Vote v;
+  v.instance = instance_;
+  v.step = step_;
+  v.kind = kind;
+  v.value = value;
+  v.voter = identity_.public_key;
+  v.signature = provider_->Sign(identity_.private_key, v.SigningBytes());
+  Count(v);          // Count our own vote.
+  broadcast_(v);     // Ship to the committee.
+}
+
+void BaStar::OnVote(const Vote& vote) {
+  if (!started_ || decided_) return;
+  if (vote.instance != instance_) return;
+  if (vote.kind > Vote::kCert) return;
+  if (!IsMember(vote.voter)) return;
+  if (!provider_->Verify(vote.voter, vote.SigningBytes(), vote.signature)) {
+    return;
+  }
+  Count(vote);
+}
+
+void BaStar::Count(const Vote& vote) {
+  // First vote per (voter, step, kind) wins: equivocation is inert.
+  auto& seen = voted_[{vote.step, vote.kind}];
+  if (!seen.insert(vote.voter).second) return;
+
+  Key key{vote.step, vote.kind, vote.value};
+  auto& supporters = tally_[key];
+  supporters.insert(vote.voter);
+  vote_store_[key].push_back(vote);
+
+  const size_t quorum = QuorumSize();
+  if (supporters.size() < quorum) return;
+
+  if (vote.kind == Vote::kSoft && vote.step == step_ && !cert_voted_) {
+    cert_voted_ = true;
+    CastVote(Vote::kCert, vote.value);
+    return;
+  }
+  if (vote.kind == Vote::kCert && !decided_) {
+    decided_ = true;
+    decision_value_ = vote.value;
+    DecisionCert cert;
+    cert.instance = instance_;
+    cert.value = vote.value;
+    cert.votes = vote_store_[key];
+    on_decision_(cert);
+  }
+}
+
+void BaStar::OnTimeout() {
+  if (!started_ || decided_) return;
+  ++step_;
+  cert_voted_ = false;
+  // Re-vote the value with the strongest soft support seen so far (our own
+  // proposal if nothing stronger).
+  crypto::Hash256 best = proposal_;
+  size_t best_count = 0;
+  for (const auto& [key, supporters] : tally_) {
+    if (key.kind == Vote::kSoft && supporters.size() > best_count) {
+      best_count = supporters.size();
+      best = key.value;
+    }
+  }
+  CastVote(Vote::kSoft, best);
+}
+
+}  // namespace porygon::consensus

@@ -1,0 +1,119 @@
+#ifndef PORYGON_CONSENSUS_BA_STAR_H_
+#define PORYGON_CONSENSUS_BA_STAR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+
+namespace porygon::consensus {
+
+/// One committee vote. BA★ (Gilad et al., used by Blockene and Porygon's
+/// OC) proceeds in two vote kinds per step: soft votes (graded consensus)
+/// then cert votes; 2/3 of the committee certifying a value decides it. The
+/// same structure serves the ByShard baseline's Tendermint-style engine
+/// (prevote/precommit map to soft/cert).
+struct Vote {
+  uint64_t instance = 0;  ///< Consensus instance (round).
+  uint32_t step = 0;      ///< Retry step within the instance.
+  uint8_t kind = 0;       ///< 0 = soft, 1 = cert.
+  crypto::Hash256 value{};
+  crypto::PublicKey voter{};
+  crypto::Signature signature{};
+
+  static constexpr uint8_t kSoft = 0;
+  static constexpr uint8_t kCert = 1;
+
+  Bytes Encode() const;
+  static Result<Vote> Decode(ByteView data);
+  /// The signed portion (everything but voter + signature).
+  Bytes SigningBytes() const;
+};
+
+/// A decision certificate: the cert votes that crossed the threshold.
+/// Anyone can verify it against the committee membership — this is what
+/// lets messages "be verified ... even if the lifecycle of this committee
+/// has ended" (§IV-B1).
+struct DecisionCert {
+  uint64_t instance = 0;
+  crypto::Hash256 value{};
+  std::vector<Vote> votes;
+
+  size_t WireSize() const;
+};
+
+/// Message-driven BA★ instance for one committee and one decision.
+///
+/// Happy path: each member soft-votes the leader proposal it saw; on a 2/3
+/// soft quorum for v it cert-votes v; on a 2/3 cert quorum it decides v and
+/// emits the certificate. `OnTimeout` implements the retry step: members
+/// re-soft-vote their best-known value at a higher step, which converges
+/// once the network stabilizes (honest-majority assumption per Lemma 1).
+///
+/// Votes are verified (signature + membership) before counting; equivocating
+/// voters have only their first vote per (step, kind) counted.
+class BaStar {
+ public:
+  using VoteBroadcast = std::function<void(const Vote&)>;
+  using Decision = std::function<void(const DecisionCert&)>;
+
+  BaStar(crypto::CryptoProvider* provider, crypto::KeyPair identity,
+         std::vector<crypto::PublicKey> committee, VoteBroadcast broadcast,
+         Decision on_decision);
+
+  /// Starts the instance by soft-voting `proposal` at step 0.
+  void Propose(uint64_t instance, const crypto::Hash256& proposal);
+
+  /// Feeds a vote received from the network (self-votes are internal).
+  void OnVote(const Vote& vote);
+
+  /// Advances to the next step, re-voting the value with the most soft
+  /// support (fallback for lossy/adversarial schedules).
+  void OnTimeout();
+
+  bool decided() const { return decided_; }
+  const crypto::Hash256& decision() const { return decision_value_; }
+  uint64_t instance() const { return instance_; }
+  /// Votes needed for a quorum: floor(2n/3) + 1.
+  size_t QuorumSize() const { return committee_.size() * 2 / 3 + 1; }
+
+ private:
+  void CastVote(uint8_t kind, const crypto::Hash256& value);
+  void Count(const Vote& vote);
+  bool IsMember(const crypto::PublicKey& key) const;
+
+  crypto::CryptoProvider* provider_;
+  crypto::KeyPair identity_;
+  std::vector<crypto::PublicKey> committee_;
+  VoteBroadcast broadcast_;
+  Decision on_decision_;
+
+  uint64_t instance_ = 0;
+  uint32_t step_ = 0;
+  bool started_ = false;
+  bool cert_voted_ = false;
+  bool decided_ = false;
+  crypto::Hash256 proposal_{};
+  crypto::Hash256 decision_value_{};
+
+  struct Key {
+    uint32_t step;
+    uint8_t kind;
+    crypto::Hash256 value;
+    bool operator<(const Key& o) const;
+  };
+  // (step, kind, value) -> voters counted; and voter dedupe per (step,kind).
+  std::map<Key, std::set<crypto::PublicKey>> tally_;
+  std::map<std::pair<uint32_t, uint8_t>, std::set<crypto::PublicKey>> voted_;
+  std::map<Key, std::vector<Vote>> vote_store_;  // For certificates.
+};
+
+}  // namespace porygon::consensus
+
+#endif  // PORYGON_CONSENSUS_BA_STAR_H_

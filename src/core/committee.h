@@ -1,0 +1,60 @@
+#ifndef PORYGON_CORE_COMMITTEE_H_
+#define PORYGON_CORE_COMMITTEE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/provider.h"
+#include "crypto/sha256.h"
+#include "crypto/vrf.h"
+
+namespace porygon::core {
+
+/// A node's role for one round, derived solely from its own VRF output and
+/// the thresholds published in the latest proposal block (§IV-B3): every
+/// node can assess its membership without coordination.
+enum class Role {
+  kOrdering,   ///< Ordering Committee (runs Ordering + Commit phases).
+  kExecution,  ///< New Execution Committee member (Witness now, Execute in 2).
+  kIdle,       ///< Not selected this round.
+};
+
+struct Assignment {
+  Role role = Role::kIdle;
+  /// ESC shard for execution members (last N bits of the VRF output).
+  uint32_t shard = 0;
+  /// Sortition value in [0,1); the smallest OC value is the round leader.
+  double sortition = 1.0;
+  crypto::VrfProof proof;
+};
+
+/// Pure committee-formation logic shared by every stateless node.
+class Sortition {
+ public:
+  /// Seed for round `round` after proposal block `prev_hash` — all nodes
+  /// evaluate their VRF on this same input.
+  static Bytes SeedFor(uint64_t round, const crypto::Hash256& prev_hash);
+
+  /// Evaluates this node's VRF and derives its assignment from thresholds.
+  /// `ordering_threshold` and `execution_threshold` are cumulative-fraction
+  /// cutoffs: sortition < ord → OC; < ord+exec → EC (shard by last bits).
+  static Assignment Assign(crypto::CryptoProvider* provider,
+                           const crypto::PrivateKey& key, uint64_t round,
+                           const crypto::Hash256& prev_hash,
+                           double ordering_threshold,
+                           double execution_threshold, int shard_bits);
+
+  /// Validates a claimed assignment (role + shard + sortition) against the
+  /// proof — what peers and storage nodes run before accepting messages
+  /// from a self-selected committee member.
+  static bool Verify(crypto::CryptoProvider* provider,
+                     const crypto::PublicKey& pub, uint64_t round,
+                     const crypto::Hash256& prev_hash,
+                     double ordering_threshold, double execution_threshold,
+                     int shard_bits, const Assignment& claimed);
+};
+
+}  // namespace porygon::core
+
+#endif  // PORYGON_CORE_COMMITTEE_H_

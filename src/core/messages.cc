@@ -1,0 +1,424 @@
+#include "core/messages.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace porygon::core {
+
+namespace {
+void PutHash(Encoder* enc, const crypto::Hash256& h) {
+  enc->PutFixed(ByteView(h.data(), h.size()));
+}
+Result<crypto::Hash256> GetHash(Decoder* dec) {
+  PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec->GetFixed(32));
+  crypto::Hash256 h;
+  std::memcpy(h.data(), raw.data(), 32);
+  return h;
+}
+void PutKey(Encoder* enc, const crypto::PublicKey& k) {
+  enc->PutFixed(ByteView(k.data(), k.size()));
+}
+Result<crypto::PublicKey> GetKey(Decoder* dec) {
+  PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec->GetFixed(32));
+  crypto::PublicKey k;
+  std::memcpy(k.data(), raw.data(), 32);
+  return k;
+}
+void PutSig(Encoder* enc, const crypto::Signature& s) {
+  enc->PutFixed(ByteView(s.data(), s.size()));
+}
+Result<crypto::Signature> GetSig(Decoder* dec) {
+  PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec->GetFixed(64));
+  crypto::Signature s;
+  std::memcpy(s.data(), raw.data(), 64);
+  return s;
+}
+void PutDouble(Encoder* enc, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  enc->PutU64(bits);
+}
+Result<double> GetDouble(Decoder* dec) {
+  PORYGON_ASSIGN_OR_RETURN(uint64_t bits, dec->GetU64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+// State updates are varint-coded: typical entries (20-bit accounts, sub-2^32
+// balances, tiny nonces) cost ~8 bytes instead of 24 — these lists dominate
+// the exec-result fan-in to the OC and the update lists in proposal blocks.
+void PutUpdate(Encoder* enc, const tx::StateUpdate& u) {
+  enc->PutVarint(u.account);
+  enc->PutVarint(u.value.balance);
+  enc->PutVarint(u.value.nonce);
+}
+Result<tx::StateUpdate> GetUpdate(Decoder* dec) {
+  tx::StateUpdate u;
+  PORYGON_ASSIGN_OR_RETURN(u.account, dec->GetVarint());
+  PORYGON_ASSIGN_OR_RETURN(u.value.balance, dec->GetVarint());
+  PORYGON_ASSIGN_OR_RETURN(u.value.nonce, dec->GetVarint());
+  return u;
+}
+}  // namespace
+
+int PhaseOfKind(uint16_t kind) {
+  switch (kind) {
+    case kMsgTxBlock:
+    case kMsgWitnessUpload:
+      return 0;  // Witness.
+    case kMsgWitnessBundle:
+    case kMsgProposal:
+    case kMsgVote:
+      return 1;  // Ordering.
+    case kMsgExecRequest:
+    case kMsgStateRequest:
+    case kMsgStateResponse:
+    case kMsgExecResult:
+      return 2;  // Execution.
+    case kMsgCommit:
+    case kMsgNewRound:
+      return 3;  // Commit.
+    default:
+      return -1;
+  }
+}
+
+Bytes RoleAnnounce::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutU8(role);
+  enc.PutU32(shard);
+  PutDouble(&enc, sortition);
+  PutKey(&enc, node_key);
+  PutSig(&enc, proof.proof);
+  PutHash(&enc, proof.output);
+  enc.PutU32(node_id);
+  return enc.TakeBuffer();
+}
+
+Result<RoleAnnounce> RoleAnnounce::Decode(ByteView data) {
+  Decoder dec(data);
+  RoleAnnounce a;
+  PORYGON_ASSIGN_OR_RETURN(a.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(a.role, dec.GetU8());
+  PORYGON_ASSIGN_OR_RETURN(a.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(a.sortition, GetDouble(&dec));
+  PORYGON_ASSIGN_OR_RETURN(a.node_key, GetKey(&dec));
+  PORYGON_ASSIGN_OR_RETURN(a.proof.proof, GetSig(&dec));
+  PORYGON_ASSIGN_OR_RETURN(a.proof.output, GetHash(&dec));
+  PORYGON_ASSIGN_OR_RETURN(a.node_id, dec.GetU32());
+  if (!dec.Done()) return Status::Corruption("trailing announce bytes");
+  return a;
+}
+
+Bytes WitnessUpload::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutU32(shard);
+  enc.PutFixed(proof.Encode());
+  return enc.TakeBuffer();
+}
+
+Result<WitnessUpload> WitnessUpload::Decode(ByteView data) {
+  Decoder dec(data);
+  WitnessUpload w;
+  PORYGON_ASSIGN_OR_RETURN(w.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(w.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(Bytes rest, dec.GetFixed(dec.remaining()));
+  PORYGON_ASSIGN_OR_RETURN(w.proof, tx::WitnessProof::Decode(rest));
+  return w;
+}
+
+size_t WitnessedBlock::WireSize() const {
+  // Access summaries ship compressed (~6 B per transaction amortized:
+  // delta-coded varint account pairs for intra-shard transactions, fuller
+  // ~16 B entries only for the cross-shard ones the OC's conflict detection
+  // inspects, per §IV-D2 "the OC will download states that CTx will
+  // access"). The in-memory payload carries the uncompressed struct for
+  // implementation convenience; the bandwidth model charges the wire
+  // encoding.
+  return header.WireSize() + proofs.size() * tx::WitnessProof::kWireSize +
+         accesses.size() * 6;
+}
+
+Bytes WitnessedBlock::Encode() const {
+  Encoder enc;
+  enc.PutBytes(header.Encode());
+  enc.PutVarint(proofs.size());
+  for (const auto& p : proofs) enc.PutFixed(p.Encode());
+  enc.PutVarint(accesses.size());
+  for (const auto& a : accesses) {
+    PutHash(&enc, a.id);
+    enc.PutU64(a.from);
+    enc.PutU64(a.to);
+    enc.PutU64(a.amount);
+    enc.PutU64(a.nonce);
+    enc.PutU64(a.submitted_at);
+  }
+  return enc.TakeBuffer();
+}
+
+Result<WitnessedBlock> WitnessedBlock::Decode(ByteView data) {
+  Decoder dec(data);
+  WitnessedBlock b;
+  PORYGON_ASSIGN_OR_RETURN(Bytes header_raw, dec.GetBytes());
+  PORYGON_ASSIGN_OR_RETURN(b.header,
+                           tx::TransactionBlockHeader::Decode(header_raw));
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_proofs, dec.GetVarint());
+  for (uint64_t i = 0; i < n_proofs; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec.GetFixed(32 + 32 + 64));
+    PORYGON_ASSIGN_OR_RETURN(auto proof, tx::WitnessProof::Decode(raw));
+    b.proofs.push_back(std::move(proof));
+  }
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_access, dec.GetVarint());
+  for (uint64_t i = 0; i < n_access; ++i) {
+    TxAccess a;
+    PORYGON_ASSIGN_OR_RETURN(a.id, GetHash(&dec));
+    PORYGON_ASSIGN_OR_RETURN(a.from, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(a.to, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(a.amount, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(a.nonce, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(a.submitted_at, dec.GetU64());
+    b.accesses.push_back(a);
+  }
+  if (!dec.Done()) return Status::Corruption("trailing witnessed-block bytes");
+  return b;
+}
+
+size_t WitnessBundle::WireSize() const {
+  size_t total = 8;
+  for (const auto& b : blocks) total += b.WireSize();
+  return total;
+}
+
+Bytes WitnessBundle::Encode() const {
+  Encoder enc;
+  enc.PutU64(batch_round);
+  enc.PutVarint(blocks.size());
+  for (const auto& b : blocks) enc.PutBytes(b.Encode());
+  return enc.TakeBuffer();
+}
+
+Result<WitnessBundle> WitnessBundle::Decode(ByteView data) {
+  Decoder dec(data);
+  WitnessBundle w;
+  PORYGON_ASSIGN_OR_RETURN(w.batch_round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec.GetBytes());
+    PORYGON_ASSIGN_OR_RETURN(auto block, WitnessedBlock::Decode(raw));
+    w.blocks.push_back(std::move(block));
+  }
+  if (!dec.Done()) return Status::Corruption("trailing bundle bytes");
+  return w;
+}
+
+Bytes ExecRequest::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutU32(shard);
+  enc.PutVarint(block_ids.size());
+  for (const auto& id : block_ids) PutHash(&enc, id);
+  enc.PutVarint(updates.size());
+  for (const auto& u : updates) PutUpdate(&enc, u);
+  enc.PutVarint(discarded.size());
+  for (const auto& id : discarded) PutHash(&enc, id);
+  PutHash(&enc, shard_root);
+  enc.PutVarint(all_roots.size());
+  for (const auto& root : all_roots) PutHash(&enc, root);
+  enc.PutVarint(members.size());
+  for (auto m : members) enc.PutU32(m);
+  return enc.TakeBuffer();
+}
+
+Result<ExecRequest> ExecRequest::Decode(ByteView data) {
+  Decoder dec(data);
+  ExecRequest r;
+  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(r.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_blocks, dec.GetVarint());
+  for (uint64_t i = 0; i < n_blocks; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(auto id, GetHash(&dec));
+    r.block_ids.push_back(id);
+  }
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_updates, dec.GetVarint());
+  for (uint64_t i = 0; i < n_updates; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(auto u, GetUpdate(&dec));
+    r.updates.push_back(u);
+  }
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_disc, dec.GetVarint());
+  for (uint64_t i = 0; i < n_disc; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(auto id, GetHash(&dec));
+    r.discarded.push_back(id);
+  }
+  PORYGON_ASSIGN_OR_RETURN(r.shard_root, GetHash(&dec));
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_roots, dec.GetVarint());
+  r.all_roots.resize(n_roots);
+  for (auto& root : r.all_roots) {
+    PORYGON_ASSIGN_OR_RETURN(root, GetHash(&dec));
+  }
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_members, dec.GetVarint());
+  r.members.resize(n_members);
+  for (auto& m : r.members) {
+    PORYGON_ASSIGN_OR_RETURN(m, dec.GetU32());
+  }
+  if (!dec.Done()) return Status::Corruption("trailing exec-request bytes");
+  return r;
+}
+
+Bytes StateRequest::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutU32(shard);
+  enc.PutVarint(accounts.size());
+  for (auto a : accounts) enc.PutU64(a);
+  return enc.TakeBuffer();
+}
+
+Result<StateRequest> StateRequest::Decode(ByteView data) {
+  Decoder dec(data);
+  StateRequest r;
+  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(r.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(uint64_t a, dec.GetU64());
+    r.accounts.push_back(a);
+  }
+  if (!dec.Done()) return Status::Corruption("trailing state-request bytes");
+  return r;
+}
+
+size_t StateResponse::WireSize() const {
+  return 12 + entries.size() * 17 + proof_bytes;
+}
+
+Bytes StateResponse::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  enc.PutU32(shard);
+  enc.PutVarint(entries.size());
+  for (const auto& e : entries) {
+    enc.PutU64(e.account);
+    enc.PutBool(e.present);
+    enc.PutU64(e.value.balance);
+    enc.PutU64(e.value.nonce);
+  }
+  enc.PutU64(proof_bytes);
+  enc.PutVarint(proofs.size());
+  for (const auto& p : proofs) enc.PutBytes(p);
+  return enc.TakeBuffer();
+}
+
+Result<StateResponse> StateResponse::Decode(ByteView data) {
+  Decoder dec(data);
+  StateResponse r;
+  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(r.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    PORYGON_ASSIGN_OR_RETURN(e.account, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(e.present, dec.GetBool());
+    PORYGON_ASSIGN_OR_RETURN(e.value.balance, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(e.value.nonce, dec.GetU64());
+    r.entries.push_back(e);
+  }
+  PORYGON_ASSIGN_OR_RETURN(r.proof_bytes, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n_proofs, dec.GetVarint());
+  for (uint64_t i = 0; i < n_proofs; ++i) {
+    PORYGON_ASSIGN_OR_RETURN(Bytes p, dec.GetBytes());
+    r.proofs.push_back(std::move(p));
+  }
+  if (!dec.Done()) return Status::Corruption("trailing state-response bytes");
+  return r;
+}
+
+crypto::Hash256 ExecResultMsg::HashSSet(
+    const std::vector<tx::StateUpdate>& s) {
+  Encoder enc;
+  enc.PutVarint(s.size());
+  for (const auto& u : s) PutUpdate(&enc, u);
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+Bytes ExecResultMsg::SigningBytes() const {
+  Encoder enc;
+  enc.PutString("porygon.exec-result");
+  enc.PutU64(exec_round);
+  enc.PutU32(shard);
+  PutHash(&enc, new_root);
+  PutHash(&enc, s_hash);
+  enc.PutU32(intra_applied);
+  enc.PutU32(cross_pre_executed);
+  return enc.TakeBuffer();
+}
+
+Bytes ExecResultMsg::Encode() const {
+  Encoder enc;
+  enc.PutU64(exec_round);
+  enc.PutU32(shard);
+  PutHash(&enc, new_root);
+  PutHash(&enc, s_hash);
+  enc.PutBool(full);
+  if (full) {
+    enc.PutVarint(s_set.size());
+    for (const auto& u : s_set) PutUpdate(&enc, u);
+  }
+  enc.PutU32(intra_applied);
+  enc.PutU32(cross_pre_executed);
+  PutKey(&enc, signer);
+  PutSig(&enc, signature);
+  return enc.TakeBuffer();
+}
+
+Result<ExecResultMsg> ExecResultMsg::Decode(ByteView data) {
+  Decoder dec(data);
+  ExecResultMsg m;
+  PORYGON_ASSIGN_OR_RETURN(m.exec_round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(m.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(m.new_root, GetHash(&dec));
+  PORYGON_ASSIGN_OR_RETURN(m.s_hash, GetHash(&dec));
+  PORYGON_ASSIGN_OR_RETURN(m.full, dec.GetBool());
+  if (m.full) {
+    PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+    for (uint64_t i = 0; i < n; ++i) {
+      PORYGON_ASSIGN_OR_RETURN(auto u, GetUpdate(&dec));
+      m.s_set.push_back(u);
+    }
+  }
+  PORYGON_ASSIGN_OR_RETURN(m.intra_applied, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(m.cross_pre_executed, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(m.signer, GetKey(&dec));
+  PORYGON_ASSIGN_OR_RETURN(m.signature, GetSig(&dec));
+  if (!dec.Done()) return Status::Corruption("trailing exec-result bytes");
+  return m;
+}
+
+Bytes Relay::Encode() const {
+  Encoder enc;
+  enc.PutU8(target);
+  enc.PutU64(round);
+  enc.PutU32(shard);
+  enc.PutU32(dest);
+  enc.PutU16(inner_kind);
+  enc.PutBytes(inner);
+  return enc.TakeBuffer();
+}
+
+Result<Relay> Relay::Decode(ByteView data) {
+  Decoder dec(data);
+  Relay r;
+  PORYGON_ASSIGN_OR_RETURN(r.target, dec.GetU8());
+  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(r.shard, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(r.dest, dec.GetU32());
+  PORYGON_ASSIGN_OR_RETURN(r.inner_kind, dec.GetU16());
+  PORYGON_ASSIGN_OR_RETURN(r.inner, dec.GetBytes());
+  if (!dec.Done()) return Status::Corruption("trailing relay bytes");
+  return r;
+}
+
+}  // namespace porygon::core

@@ -1,0 +1,19 @@
+#include "core/pipeline.h"
+
+namespace porygon::core {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kWitness:
+      return "Witness";
+    case Phase::kOrdering:
+      return "Ordering";
+    case Phase::kExecution:
+      return "Execution";
+    case Phase::kCommit:
+      return "Commit";
+  }
+  return "?";
+}
+
+}  // namespace porygon::core

@@ -1,0 +1,72 @@
+#ifndef PORYGON_CORE_PIPELINE_H_
+#define PORYGON_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace porygon::core {
+
+/// Phases of committing one batch of transactions (§IV-C1). An EC handles
+/// Witness + Execution; the OC handles Ordering + Commit.
+enum class Phase {
+  kWitness,
+  kOrdering,
+  kExecution,
+  kCommit,
+};
+
+const char* PhaseName(Phase phase);
+
+/// Pure schedule arithmetic for the Fig 4 / Fig 6 pipeline. An Execution
+/// Committee formed in round r:
+///   round r     : Witness batch r            (W_r)
+///   round r + 1 : Cross-Batch Witness r+1    (W_{r+1}, §IV-C2)
+///   round r + 2 : Execute batch r            (E_r)
+/// and then expires. The OC, each round r, orders batch r-1, aggregates
+/// execution results of batch r-3, and commits.
+class PipelineSchedule {
+ public:
+  explicit PipelineSchedule(int ec_lifetime_rounds = 3)
+      : lifetime_(ec_lifetime_rounds) {}
+
+  int ec_lifetime() const { return lifetime_; }
+
+  /// Round in which the EC formed at `formed_round` executes its batch.
+  uint64_t ExecutionRound(uint64_t formed_round) const {
+    return formed_round + 2;
+  }
+
+  /// True iff the EC formed at `formed_round` is still alive in `round`.
+  bool IsAlive(uint64_t formed_round, uint64_t round) const {
+    return round >= formed_round &&
+           round < formed_round + static_cast<uint64_t>(lifetime_);
+  }
+
+  /// Number of concurrently live ECs (pipeline width); 3 in the paper.
+  int ConcurrentCommittees() const { return lifetime_; }
+
+  /// Batches witnessed by the EC formed at `formed_round` (its own round's
+  /// batch plus the cross-batch round).
+  std::vector<uint64_t> WitnessBatches(uint64_t formed_round) const {
+    return {formed_round, formed_round + 1};
+  }
+
+  /// Commit round of an intra-shard transaction witnessed in round i
+  /// (i + 3, §IV-D2: "intra-shard transactions witnessed in round i are
+  /// finally committed in round (i+3)").
+  uint64_t IntraShardCommitRound(uint64_t witnessed_round) const {
+    return witnessed_round + 3;
+  }
+
+  /// Commit round of a cross-shard transaction witnessed in round i (i + 5).
+  uint64_t CrossShardCommitRound(uint64_t witnessed_round) const {
+    return witnessed_round + 5;
+  }
+
+ private:
+  int lifetime_;
+};
+
+}  // namespace porygon::core
+
+#endif  // PORYGON_CORE_PIPELINE_H_

@@ -1,0 +1,642 @@
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/log.h"
+#include "core/system.h"
+#include "state/view.h"
+
+namespace porygon::core {
+
+namespace {
+std::string IdKey(const crypto::Hash256& h) {
+  return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+Bytes WitnessSigningBytes(const tx::TransactionBlockHeader& header) {
+  Bytes out = ToBytes("porygon.witness");
+  Bytes enc = header.Encode();
+  out.insert(out.end(), enc.begin(), enc.end());
+  return out;
+}
+
+tx::Transaction FromAccess(const TxAccess& a) {
+  tx::Transaction t;
+  t.from = a.from;
+  t.to = a.to;
+  t.amount = a.amount;
+  t.nonce = a.nonce;
+  t.submitted_at = a.submitted_at;
+  return t;
+}
+}  // namespace
+
+StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
+                                       net::NodeId net_id,
+                                       crypto::KeyPair keys,
+                                       std::vector<net::NodeId> storages,
+                                       bool malicious, bool in_oc)
+    : system_(system),
+      index_(index),
+      net_id_(net_id),
+      keys_(std::move(keys)),
+      storages_(std::move(storages)),
+      malicious_(malicious),
+      in_oc_(in_oc) {
+  if (in_oc_) {
+    coordinator_ = std::make_unique<CrossShardCoordinator>(
+        system_->params().shard_bits,
+        system_->params().cross_shard_retry_rounds);
+  }
+}
+
+uint64_t StatelessNodeActor::StorageFootprintBytes() const {
+  // Latest proposal block + committee public keys + transiently-held
+  // witnessed blocks (pruned after their execution round).
+  uint64_t bytes = last_block_.WireSize();
+  bytes += system_->oc_keys_.size() * 32;
+  bytes += 32 * system_->num_stateless_nodes();  // Identity registry.
+  for (const auto& [key, held] : held_blocks_) {
+    bytes += held.header.WireSize() +
+             held.txs.size() * tx::Transaction::kWireSize;
+  }
+  return bytes;
+}
+
+void StatelessNodeActor::SendToPrimary(uint16_t kind, Bytes payload,
+                                       size_t wire_size) {
+  if (storages_.empty()) return;
+  net::Message m;
+  m.from = net_id_;
+  m.to = storages_[0];
+  m.kind = kind;
+  m.wire_size = wire_size != 0 ? wire_size : payload.size();
+  m.payload = std::move(payload);
+  system_->network()->Send(std::move(m));
+}
+
+void StatelessNodeActor::SendToAllStorages(uint16_t kind, const Bytes& payload,
+                                           size_t wire_size) {
+  for (net::NodeId sid : storages_) {
+    net::Message m;
+    m.from = net_id_;
+    m.to = sid;
+    m.kind = kind;
+    m.payload = payload;
+    m.wire_size = wire_size != 0 ? wire_size : payload.size();
+    system_->network()->Send(std::move(m));
+  }
+}
+
+void StatelessNodeActor::BroadcastToOc(uint16_t kind, const Bytes& payload) {
+  Relay relay;
+  relay.target = Relay::kToOrderingCommittee;
+  relay.round = current_round_;
+  relay.inner_kind = kind;
+  relay.inner = payload;
+  SendToPrimary(kMsgRelay, relay.Encode());
+}
+
+void StatelessNodeActor::HandleMessage(const net::Message& msg) {
+  if (malicious_) return;  // Byzantine-silent model for stateless nodes.
+  switch (msg.kind) {
+    case kMsgNewRound: {
+      auto block = tx::ProposalBlock::Decode(msg.payload);
+      if (block.ok()) OnNewRound(*block, block->round + 1);
+      break;
+    }
+    case kMsgTxBlock:
+      OnTxBlock(msg);
+      break;
+    case kMsgExecRequest:
+      OnExecRequest(msg);
+      break;
+    case kMsgStateResponse:
+      OnStateResponse(msg);
+      break;
+    case kMsgWitnessBundle:
+      OnWitnessBundle(msg);
+      break;
+    case kMsgProposal:
+      OnProposal(msg);
+      break;
+    case kMsgVote:
+      OnVote(msg);
+      break;
+    case kMsgExecResult:
+      OnExecResult(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
+                                    uint64_t round) {
+  if (round <= current_round_) return;  // Stale.
+  current_round_ = round;
+  last_block_ = prev_block;
+  prev_hash_ = prev_block.Hash();
+
+  // Prune witnessed blocks past their execution round (storage hygiene that
+  // keeps the footprint ~constant, Fig 9a).
+  for (auto it = held_blocks_.begin(); it != held_blocks_.end();) {
+    if (it->second.witnessed_round + 2 < round) {
+      it = held_blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (in_oc_) {
+    // Fresh consensus instance; the coordinator persists (the OC outlives
+    // ECs, §IV-C2).
+    ba_.reset();
+    pending_votes_.clear();
+    proposed_this_round_ = false;
+    decided_hash_.reset();
+    proposals_seen_.clear();
+    // Bound memory: bundles/results older than the pipeline depth are dead.
+    while (!bundles_.empty() && bundles_.begin()->first + 4 < round) {
+      bundles_.erase(bundles_.begin());
+    }
+    while (!exec_results_.empty() &&
+           exec_results_.begin()->first.first + 4 < round) {
+      exec_results_.erase(exec_results_.begin());
+    }
+    if (net_id_ == system_->leader_net_id_) {
+      // Normal path: propose when the witness bundle arrives
+      // (OnWitnessBundle); this deadline is the fallback that keeps
+      // liveness when no bundle shows up (empty round).
+      system_->events()->ScheduleAfter(
+          2 * system_->params().phase_interval_us,
+          [this, round] {
+            if (current_round_ == round) MaybePropose();
+          });
+    }
+    return;
+  }
+
+  // Churn: a node whose session expired misses this round (it is
+  // rejoining) and returns with a fresh session next round. EC lifecycles
+  // are short, so Porygon absorbs this gracefully (Fig 8d).
+  if (system_->options().mean_session_s > 0) {
+    if (session_end_ == net::kSimTimeNever) {
+      session_end_ = system_->DrawSessionEnd();
+    }
+    if (session_end_ <= system_->events()->now()) {
+      assignment_.reset();
+      session_end_ = system_->DrawSessionEnd();
+      return;
+    }
+  }
+
+  // Cohort rotation (Fig 4): an EC formed at round r witnesses at r,
+  // cross-batch witnesses at r+1, and executes at r+2 — so a node joins a
+  // *new* EC only every third round. Without this, each node would carry
+  // witness and execution traffic simultaneously, halving its usable
+  // bandwidth versus the paper's pipeline.
+  if (static_cast<uint64_t>(index_ % 3) != round % 3) {
+    return;  // Serving an earlier cohort (executing/cross-batch) or idle.
+  }
+
+  // Execution-committee sortition for this round, with the shard drawn
+  // from the VRF output (§IV-B3).
+  assignment_ = Sortition::Assign(system_->provider(), keys_.private_key,
+                                  round, prev_hash_, 0.0, 1.0,
+                                  system_->params().shard_bits);
+  RoleAnnounce announce;
+  announce.round = round;
+  announce.role = static_cast<uint8_t>(assignment_->role);
+  announce.shard = assignment_->shard;
+  announce.sortition = assignment_->sortition;
+  announce.node_key = keys_.public_key;
+  announce.proof = assignment_->proof;
+  announce.node_id = net_id_;
+  SendToAllStorages(kMsgRoleAnnounce, announce.Encode());
+}
+
+// --------------------------------------------------------------------------
+// Execution-committee paths
+// --------------------------------------------------------------------------
+
+void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
+  auto block = tx::TransactionBlock::Decode(msg.payload);
+  if (!block.ok() || !assignment_.has_value()) return;
+  if (block->header.shard != assignment_->shard) return;
+
+  // Data availability check (Witness Phase, §IV-C1(a)): a header whose body
+  // we cannot download, or whose body does not match, is never witnessed.
+  if (block->transactions.size() != block->header.tx_count) return;
+  if (!block->BodyMatchesHeader()) return;
+
+  std::string key = IdKey(block->header.Id());
+  if (held_blocks_.count(key) == 0) {
+    HeldBlock held;
+    held.header = block->header;
+    held.txs = block->transactions;
+    held.witnessed_round = current_round_;
+    held_blocks_[key] = std::move(held);
+  }
+
+  tx::WitnessProof proof;
+  proof.block_id = block->header.Id();
+  proof.witness = keys_.public_key;
+  proof.signature = system_->provider()->Sign(
+      keys_.private_key, WitnessSigningBytes(block->header));
+
+  WitnessUpload up;
+  up.round = current_round_;
+  up.shard = assignment_->shard;
+  up.proof = proof;
+  // Redundant upload to all m connected storage nodes: one honest one
+  // suffices (Lemma 1).
+  SendToAllStorages(kMsgWitnessUpload, up.Encode());
+}
+
+void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
+  auto req = ExecRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  if (exec_task_.has_value() && exec_task_->started_round == current_round_) {
+    return;  // Already executing this round.
+  }
+
+  ExecTask task;
+  task.request = std::move(*req);
+  task.started_round = current_round_;
+  exec_task_ = std::move(task);
+
+  // Collect every account the batch touches (the pre-recorded access lists)
+  // plus the accounts of the OC's update list U. Fresh accounts need
+  // absence proofs, so everything is requested.
+  std::set<state::AccountId> accounts;
+  for (const auto& id : exec_task_->request.block_ids) {
+    auto held = held_blocks_.find(IdKey(id));
+    if (held == held_blocks_.end()) continue;
+    for (const auto& t : held->second.txs) {
+      accounts.insert(t.from);
+      accounts.insert(t.to);
+    }
+  }
+  for (const auto& u : exec_task_->request.updates) {
+    accounts.insert(u.account);
+  }
+  if (accounts.empty()) {
+    RunExecution();  // Nothing to download; still report (empty) results.
+    return;
+  }
+
+  StateRequest sreq;
+  sreq.round = exec_task_->request.round;
+  sreq.shard = exec_task_->request.shard;
+  sreq.accounts.assign(accounts.begin(), accounts.end());
+  exec_task_->state_requested = true;
+  SendToPrimary(kMsgStateRequest, sreq.Encode());
+}
+
+void StatelessNodeActor::OnStateResponse(const net::Message& msg) {
+  auto resp = StateResponse::Decode(msg.payload);
+  if (!resp.ok() || !exec_task_.has_value()) return;
+  if (resp->round != exec_task_->request.round) return;
+  exec_task_->state = std::move(*resp);
+  RunExecution();
+}
+
+void StatelessNodeActor::RunExecution() {
+  if (!exec_task_.has_value()) return;
+  const ExecRequest& req = exec_task_->request;
+
+  ExecResultMsg result;
+  result.exec_round = req.round;
+  result.shard = req.shard;
+  // Rank within the shard's ESC decides who ships the full S set; two full
+  // senders give redundancy while attestations keep the OC downlink flat.
+  int rank = 0;
+  for (net::NodeId m : req.members) {
+    if (m == net_id_) break;
+    ++rank;
+  }
+  result.full = rank < 2;
+
+  const bool faithful = system_->options().faithful_execution;
+  bool computed = false;
+
+  if (!faithful) {
+    // Fast path: adopt the deterministic result computed once for this
+    // (round, shard) — identical to what local execution would produce.
+    auto cached = system_->exec_cache_.find(req.round);
+    if (cached != system_->exec_cache_.end() &&
+        req.shard < cached->second.roots.size()) {
+      result.new_root = cached->second.roots[req.shard];
+      result.s_set = cached->second.s_sets[req.shard];
+      result.intra_applied = cached->second.intra_applied[req.shard];
+      result.cross_pre_executed = cached->second.cross_pre[req.shard];
+      computed = true;
+    }
+  }
+
+  if (!computed) {
+    // Faithful path: rebuild a partial shard subtree from proofs, verify,
+    // and execute locally (true stateless execution).
+    state::PartialState partial(system_->params().shard_bits, req.shard,
+                                req.shard_root);
+    if (exec_task_->state.has_value()) {
+      const StateResponse& sr = *exec_task_->state;
+      for (size_t i = 0; i < sr.entries.size(); ++i) {
+        const auto& e = sr.entries[i];
+        if (i >= sr.proofs.size()) break;
+        auto proof = state::MerkleProof::Decode(sr.proofs[i]);
+        if (!proof.ok()) continue;
+        uint32_t shard_of =
+            state::ShardOfAccount(e.account, system_->params().shard_bits);
+        if (shard_of == req.shard) {
+          (void)partial.AddOwnAccount(e.account, e.present, e.value, *proof);
+        } else if (shard_of < req.all_roots.size()) {
+          (void)partial.AddForeignAccount(e.account, e.present, e.value,
+                                          *proof, req.all_roots[shard_of]);
+        }
+      }
+    }
+
+    ExecutionInput input;
+    input.shard = req.shard;
+    input.updates = req.updates;
+    std::set<std::string> discarded;
+    for (const auto& id : req.discarded) discarded.insert(IdKey(id));
+    for (const auto& id : req.block_ids) {
+      auto held = held_blocks_.find(IdKey(id));
+      if (held == held_blocks_.end()) continue;
+      for (const auto& t : held->second.txs) {
+        if (discarded.count(IdKey(t.Id())) > 0) continue;
+        if (t.IsCrossShard(system_->params().shard_bits)) {
+          input.cross_shard.push_back(t);
+        } else {
+          input.intra_shard.push_back(t);
+        }
+      }
+    }
+    ExecutionResult r = ShardExecutor::Execute(&partial, input);
+    result.new_root = r.shard_root;
+    result.s_set = r.cross_updates;
+    result.intra_applied = r.intra_applied;
+    result.cross_pre_executed = r.cross_pre_executed;
+  }
+
+  result.s_hash = ExecResultMsg::HashSSet(result.s_set);
+  if (!result.full) result.s_set.clear();
+  result.signer = keys_.public_key;
+  result.signature =
+      system_->provider()->Sign(keys_.private_key, result.SigningBytes());
+  BroadcastToOc(kMsgExecResult, result.Encode());
+  exec_task_.reset();
+}
+
+// --------------------------------------------------------------------------
+// Ordering-committee paths
+// --------------------------------------------------------------------------
+
+void StatelessNodeActor::OnWitnessBundle(const net::Message& msg) {
+  if (!in_oc_) return;
+  auto bundle = WitnessBundle::Decode(msg.payload);
+  if (!bundle.ok()) return;
+  auto& merged = bundles_[bundle->batch_round];
+  for (auto& block : bundle->blocks) {
+    std::string key = IdKey(block.header.Id());
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged[key] = std::move(block);
+    } else {
+      // Union the proofs (cross-batch witnesses may arrive via different
+      // storage nodes).
+      std::set<crypto::PublicKey> seen;
+      for (const auto& p : it->second.proofs) seen.insert(p.witness);
+      for (const auto& p : block.proofs) {
+        if (seen.insert(p.witness).second) it->second.proofs.push_back(p);
+      }
+    }
+  }
+  // The leader proposes as soon as last round's witnessed blocks are in
+  // hand (its primary ships the converged set once per round).
+  if (net_id_ == system_->leader_net_id_ &&
+      bundle->batch_round + 1 == current_round_) {
+    MaybePropose();
+  }
+}
+
+void StatelessNodeActor::OnExecResult(const net::Message& msg) {
+  if (!in_oc_) return;
+  auto result = ExecResultMsg::Decode(msg.payload);
+  if (!result.ok()) return;
+  if (!system_->provider()->Verify(result->signer, result->SigningBytes(),
+                                   result->signature)) {
+    return;
+  }
+  auto& pending =
+      exec_results_[{result->exec_round, result->shard}];
+  if (!pending.voters.insert(result->signer).second) return;
+
+  // Result key: (root, s_hash); identical execution -> identical key. Full
+  // payloads (from the shard's lowest-ranked members) carry the S data.
+  Encoder key_enc;
+  key_enc.PutFixed(ByteView(result->new_root.data(), 32));
+  key_enc.PutFixed(ByteView(result->s_hash.data(), 32));
+  std::string key(reinterpret_cast<const char*>(key_enc.buffer().data()),
+                  key_enc.buffer().size());
+  pending.result_votes[key] += 1;
+  if (result->full &&
+      ExecResultMsg::HashSSet(result->s_set) == result->s_hash) {
+    pending.payloads.emplace(key, *result);
+  }
+}
+
+void StatelessNodeActor::MaybePropose() {
+  if (!in_oc_ || proposed_this_round_ || decided_hash_.has_value()) return;
+  proposed_this_round_ = true;
+  const Params& p = system_->params();
+  const uint64_t r = current_round_;
+
+  tx::ProposalBlock proposal;
+  proposal.height = last_block_.height + 1;
+  proposal.prev_hash = prev_hash_;
+  proposal.round = r;
+  proposal.leader = keys_.public_key;
+  proposal.shard_tx_blocks.assign(p.shard_count(), {});
+  proposal.shard_updates.assign(p.shard_count(), {});
+  proposal.ordering_threshold = p.ordering_fraction;
+  proposal.execution_threshold = p.execution_fraction;
+
+  // --- Ordering Phase: list batch r-1 blocks with enough witness proofs.
+  std::vector<tx::Transaction> round_txs;
+  auto bundle = bundles_.find(r - 1);
+  if (bundle != bundles_.end()) {
+    std::vector<const WitnessedBlock*> ordered;
+    for (const auto& [key, wb] : bundle->second) {
+      // Verify witness signatures; count distinct valid witnesses.
+      size_t valid = 0;
+      Bytes signing = WitnessSigningBytes(wb.header);
+      std::set<crypto::PublicKey> seen;
+      for (const auto& proof : wb.proofs) {
+        if (!seen.insert(proof.witness).second) continue;
+        if (system_->provider()->Verify(proof.witness, signing,
+                                        proof.signature)) {
+          ++valid;
+        }
+      }
+      if (valid >= static_cast<size_t>(p.witness_threshold)) {
+        ordered.push_back(&wb);
+      }
+    }
+    // Deterministic order (map iteration is already id-sorted).
+    for (const WitnessedBlock* wb : ordered) {
+      proposal.shard_tx_blocks[wb->header.shard].push_back(wb->header.Id());
+      for (const auto& a : wb->accesses) round_txs.push_back(FromAccess(a));
+    }
+  }
+
+  // --- Cross-shard conflict filtering + locking (§IV-D2).
+  auto filtered = coordinator_->FilterAndLock(r, round_txs);
+  proposal.discarded = filtered.discarded;
+
+  // --- Aggregate execution results of exec round r-2 (T and S).
+  proposal.shard_roots = last_block_.shard_roots;
+  if (proposal.shard_roots.empty()) {
+    proposal.shard_roots.assign(p.shard_count(), crypto::ZeroHash());
+    for (int d = 0; d < p.shard_count(); ++d) {
+      proposal.shard_roots[d] = last_block_.shard_roots.empty()
+                                    ? system_->genesis_.shard_roots[d]
+                                    : last_block_.shard_roots[d];
+    }
+  }
+  std::vector<std::vector<tx::StateUpdate>> s_sets;
+  std::vector<tx::StateUpdate> old_values;
+  for (int d = 0; d < p.shard_count(); ++d) {
+    auto pending = exec_results_.find({r - 2, static_cast<uint32_t>(d)});
+    bool accepted = false;
+    if (pending != exec_results_.end()) {
+      for (const auto& [key, votes] : pending->second.result_votes) {
+        if (votes >= p.execution_threshold &&
+            pending->second.payloads.count(key) > 0) {
+          const ExecResultMsg& res = pending->second.payloads.at(key);
+          proposal.shard_roots[d] = res.new_root;
+          if (!res.s_set.empty()) s_sets.push_back(res.s_set);
+          accepted = true;
+          break;
+        }
+      }
+    }
+    // Success/failure feedback for in-flight multi-shard updates.
+    bool had_pending =
+        r >= 4 && !coordinator_->PendingUpdatesFor(d, r).empty();
+    if (had_pending) {
+      auto outcome = coordinator_->OnShardUpdateResult(r - 4, d, accepted);
+      if (outcome.rolled_back) {
+        for (int d2 = 0; d2 < p.shard_count(); ++d2) {
+          for (const auto& u : outcome.compensation[d2]) {
+            proposal.shard_updates[d2].push_back(u);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Build the update list U_r from the S sets (Single-Shard Execution
+  // results route to owning shards for Multi-Shard Update).
+  if (!s_sets.empty()) {
+    auto update_lists = coordinator_->BuildUpdateList(r - 2, s_sets,
+                                                      old_values);
+    for (int d = 0; d < p.shard_count(); ++d) {
+      for (const auto& u : update_lists[d]) {
+        proposal.shard_updates[d].push_back(u);
+      }
+    }
+  }
+  // Re-send still-pending updates from earlier rounds until success.
+  for (int d = 0; d < p.shard_count(); ++d) {
+    for (const auto& u : coordinator_->PendingUpdatesFor(d, r)) {
+      bool already = false;
+      for (const auto& existing : proposal.shard_updates[d]) {
+        if (existing.account == u.account) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) proposal.shard_updates[d].push_back(u);
+    }
+  }
+
+  proposal.state_root =
+      state::ShardedState::AggregateRoots(proposal.shard_roots);
+
+  pending_proposal_ = proposal;
+  Bytes enc = proposal.Encode();
+  proposals_seen_[IdKey(proposal.Hash())] = proposal;
+  BroadcastToOc(kMsgProposal, enc);
+  StartConsensus(proposal);
+}
+
+void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
+  crypto::Hash256 hash = proposal.Hash();
+  if (!ba_) {
+    ba_ = std::make_unique<consensus::BaStar>(
+        system_->provider(), keys_, system_->oc_keys_,
+        [this](const consensus::Vote& v) {
+          BroadcastToOc(kMsgVote, v.Encode());
+        },
+        [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
+    ba_->Propose(current_round_, hash);
+    for (const auto& v : pending_votes_) ba_->OnVote(v);
+    pending_votes_.clear();
+    // Timeout driver: re-step while undecided.
+    auto schedule_timeout = std::make_shared<std::function<void(int)>>();
+    *schedule_timeout = [this, st = schedule_timeout,
+                         round = current_round_](int tries) {
+      if (tries <= 0 || !ba_ || ba_->decided() || current_round_ != round) {
+        return;
+      }
+      system_->events()->ScheduleAfter(
+          system_->params().phase_interval_us, [this, st, tries, round] {
+            if (ba_ && !ba_->decided() && current_round_ == round) {
+              ba_->OnTimeout();
+              (*st)(tries - 1);
+            }
+          });
+    };
+    (*schedule_timeout)(8);
+  }
+}
+
+void StatelessNodeActor::OnProposal(const net::Message& msg) {
+  if (!in_oc_) return;
+  auto proposal = tx::ProposalBlock::Decode(msg.payload);
+  if (!proposal.ok()) return;
+  if (proposal->round != current_round_) return;
+  // Structural validation; leader must extend our tip.
+  if (proposal->prev_hash != prev_hash_) return;
+  if (proposal->height != last_block_.height + 1) return;
+  proposals_seen_[IdKey(proposal->Hash())] = *proposal;
+  StartConsensus(*proposal);
+}
+
+void StatelessNodeActor::OnVote(const net::Message& msg) {
+  if (!in_oc_) return;
+  auto vote = consensus::Vote::Decode(msg.payload);
+  if (!vote.ok()) return;
+  if (!ba_) {
+    // Buffer votes that outrun the leader's proposal on a faster route.
+    if (vote->instance == current_round_) pending_votes_.push_back(*vote);
+    return;
+  }
+  ba_->OnVote(*vote);
+}
+
+void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
+  decided_hash_ = cert.value;
+  // The leader publishes the committed block (with its certificate) to its
+  // connected storage nodes; gossip spreads it.
+  if (net_id_ != system_->leader_net_id_) return;
+  auto it = proposals_seen_.find(IdKey(cert.value));
+  if (it == proposals_seen_.end()) return;
+  Bytes enc = it->second.Encode();
+  SendToAllStorages(kMsgCommit, enc, enc.size() + cert.WireSize());
+}
+
+}  // namespace porygon::core

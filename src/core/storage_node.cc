@@ -1,0 +1,482 @@
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/log.h"
+#include "core/system.h"
+
+namespace porygon::core {
+
+namespace {
+std::string IdKey(const crypto::Hash256& h) {
+  return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+Bytes WitnessSigningBytes(const tx::TransactionBlockHeader& header) {
+  Bytes out = ToBytes("porygon.witness");
+  Bytes enc = header.Encode();
+  out.insert(out.end(), enc.begin(), enc.end());
+  return out;
+}
+}  // namespace
+
+StorageNodeActor::StorageNodeActor(PorygonSystem* system, int index,
+                                   net::NodeId net_id, bool malicious)
+    : system_(system),
+      index_(index),
+      net_id_(net_id),
+      malicious_(malicious),
+      pool_(system->params().shard_bits),
+      env_(new storage::MemEnv()) {
+  auto db = storage::Db::Open(env_.get(), "db");
+  db_ = std::move(db).value();
+}
+
+uint64_t StorageNodeActor::db_bytes() const { return env_->TotalBytes(); }
+
+void StorageNodeActor::HandleMessage(const net::Message& msg) {
+  switch (msg.kind) {
+    case kMsgSubmitTx:
+      OnSubmitTx(msg);
+      break;
+    case kMsgWitnessUpload:
+      OnWitnessUpload(msg, /*from_gossip=*/false);
+      break;
+    case kMsgRelay:
+      OnRelay(msg);
+      break;
+    case kMsgStateRequest:
+      OnStateRequest(msg);
+      break;
+    case kMsgCommit:
+      OnCommit(msg, /*from_gossip=*/false);
+      break;
+    case kMsgRoleAnnounce:
+      OnRoleAnnounce(msg, /*from_gossip=*/false);
+      break;
+    case kMsgGossip:
+      OnGossip(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void StorageNodeActor::OnSubmitTx(const net::Message& msg) {
+  auto t = tx::Transaction::Decode(msg.payload);
+  if (!t.ok()) return;
+  pool_.Add(*t);
+}
+
+void StorageNodeActor::OnRoundStart(uint64_t round) {
+  const Params& p = system_->params();
+  net::SimNetwork* net = system_->network();
+
+  // 1. Tell our primary stateless nodes the round has started, attaching
+  // the committed proposal block B_{r-1}.
+  const tx::ProposalBlock& prev = system_->chain().back();
+  Bytes prev_enc = prev.Encode();
+  for (const auto& node : system_->stateless_nodes_) {
+    if (node->primary_storage() != net_id_) continue;
+    net::Message m;
+    m.from = net_id_;
+    m.to = node->net_id();
+    m.kind = kMsgNewRound;
+    m.payload = prev_enc;
+    // OC members track the full proposal block; everyone else only needs
+    // the compact header (hash, round, thresholds) to run sortition —
+    // execution inputs arrive separately as per-shard ExecRequests ("both
+    // the list and the state tree are not completely sent to each shard",
+    // §IV-D2). The payload stays complete for implementation convenience;
+    // the bandwidth model charges what the node actually downloads.
+    m.wire_size = node->in_oc() ? prev_enc.size() : 256;
+    net->Send(std::move(m));
+  }
+
+  // 2. After a short grace period (role announcements propagate), package
+  // and distribute transaction blocks and push bundles / exec requests.
+  system_->events()->ScheduleAfter(net::FromMillis(200), [this, round] {
+    DistributeRoundWork(round);
+  });
+}
+
+void StorageNodeActor::GossipToPeers(uint16_t inner_kind, const Bytes& payload,
+                                     size_t wire_size) {
+  net::SimNetwork* net = system_->network();
+  Encoder enc;
+  enc.PutU16(inner_kind);
+  enc.PutBytes(payload);
+  Bytes wrapped = enc.TakeBuffer();
+  for (const auto& peer : system_->storage_nodes_) {
+    if (peer->net_id() == net_id_) continue;
+    net::Message m;
+    m.from = net_id_;
+    m.to = peer->net_id();
+    m.kind = kMsgGossip;
+    m.payload = wrapped;
+    m.wire_size = wire_size + 8;
+    net->Send(std::move(m));
+  }
+}
+
+void StorageNodeActor::OnGossip(const net::Message& msg) {
+  Decoder dec(msg.payload);
+  auto kind = dec.GetU16();
+  auto inner = dec.GetBytes();
+  if (!kind.ok() || !inner.ok()) return;
+
+  net::Message unwrapped;
+  unwrapped.from = msg.from;
+  unwrapped.to = msg.to;
+  unwrapped.kind = *kind;
+  unwrapped.payload = std::move(*inner);
+  unwrapped.wire_size = msg.wire_size;
+  switch (*kind) {
+    case kMsgWitnessUpload:
+      OnWitnessUpload(unwrapped, /*from_gossip=*/true);
+      break;
+    case kMsgCommit:
+      OnCommit(unwrapped, /*from_gossip=*/true);
+      break;
+    case kMsgRoleAnnounce:
+      OnRoleAnnounce(unwrapped, /*from_gossip=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
+                                      bool from_gossip) {
+  auto a = RoleAnnounce::Decode(msg.payload);
+  if (!a.ok()) return;
+  // Verify the sortition proof before accepting the claimed role.
+  Assignment claimed;
+  claimed.role = static_cast<Role>(a->role);
+  claimed.shard = a->shard;
+  claimed.sortition = a->sortition;
+  claimed.proof = a->proof;
+  if (!Sortition::Verify(system_->provider(), a->node_key, a->round,
+                         system_->chain().back().Hash(), 0.0, 1.0,
+                         system_->params().shard_bits, claimed)) {
+    // Announcements referencing an older tip can fail the hash check during
+    // handoff; tolerate only exact-match proofs.
+    return;
+  }
+  system_->RegisterAnnounce(*a);
+  // If this node's shard blocks were already distributed this round, the
+  // announcement simply arrived after the grace period (large proposal
+  // blocks delay NewRound); ship the blocks to it directly.
+  if (static_cast<Role>(a->role) == Role::kExecution &&
+      a->round == last_distributed_round_ && !malicious_) {
+    auto it = offered_blocks_.find(a->shard);
+    if (it != offered_blocks_.end()) {
+      for (const auto& block_id : it->second) {
+        auto stored = system_->block_store_.find(block_id);
+        if (stored == system_->block_store_.end()) continue;
+        tx::TransactionBlock outgoing;
+        outgoing.header = stored->second.block.header;
+        outgoing.transactions = stored->second.block.transactions;
+        net::Message m;
+        m.from = net_id_;
+        m.to = a->node_id;
+        m.kind = kMsgTxBlock;
+        m.payload = outgoing.Encode();
+        m.wire_size = outgoing.WireSize();
+        system_->network()->Send(std::move(m));
+      }
+    }
+  }
+  if (!from_gossip && !malicious_) {
+    std::string key = "ra" + std::to_string(a->round) +
+                      std::string(reinterpret_cast<const char*>(
+                                      a->node_key.data()),
+                                  32);
+    if (gossip_seen_.insert(key).second) {
+      GossipToPeers(kMsgRoleAnnounce, msg.payload, msg.payload.size());
+    }
+  }
+}
+
+void StorageNodeActor::DistributeRoundWork(uint64_t round) {
+  const Params& p = system_->params();
+  const SystemOptions& opt = system_->options();
+  net::SimNetwork* net = system_->network();
+  const auto* reg = system_->RegistryFor(round);
+
+  // --- Package new transaction blocks for batch `round` ------------------
+  size_t quota = opt.blocks_per_shard_round / system_->num_storage_nodes();
+  if (static_cast<size_t>(index_) <
+      opt.blocks_per_shard_round % system_->num_storage_nodes()) {
+    ++quota;
+  }
+  // Every storage node drains its own mempool: nobody else can package the
+  // transactions submitted to it.
+  if (quota == 0) quota = 1;
+  std::vector<tx::TransactionBlock> fresh;
+  for (int shard = 0; shard < p.shard_count(); ++shard) {
+    for (size_t b = 0; b < quota; ++b) {
+      if (pool_.PendingInShard(shard) == 0) break;
+      tx::TransactionBlock block = pool_.PackBlock(
+          shard, p.block_tx_limit, static_cast<uint32_t>(index_), round);
+      if (block.transactions.empty()) break;
+      system_->block_store_[IdKey(block.header.Id())] =
+          PorygonSystem::StoredBlock{block, round};
+      fresh.push_back(std::move(block));
+    }
+  }
+
+  // --- Send blocks to this round's EC members (witness phase). Blocks that
+  // missed Tw in their own round are re-offered to the next round's EC —
+  // the Cross-Batch Witness path (§IV-C2).
+  std::vector<const tx::TransactionBlock*> to_offer;
+  for (const auto& b : fresh) {
+    to_offer.push_back(
+        &system_->block_store_[IdKey(b.header.Id())].block);
+  }
+  for (auto& [key, stored] : system_->block_store_) {
+    if (stored.batch_round + 1 == round &&
+        stored.block.header.creator_storage_node ==
+            static_cast<uint32_t>(index_) &&
+        witness_state_.find(key) != witness_state_.end() &&
+        witness_state_[key].proofs.size() <
+            static_cast<size_t>(p.witness_threshold)) {
+      stored.batch_round = round;  // Rolls into the next batch.
+      to_offer.push_back(&stored.block);
+    }
+  }
+  last_distributed_round_ = round;
+  offered_blocks_.clear();
+  for (const tx::TransactionBlock* block : to_offer) {
+    offered_blocks_[block->header.shard].push_back(
+        IdKey(block->header.Id()));
+  }
+  if (reg != nullptr) {
+    for (const tx::TransactionBlock* block : to_offer) {
+      uint32_t shard = block->header.shard;
+      auto it = reg->ec_by_shard.find(shard);
+      if (it == reg->ec_by_shard.end()) continue;
+      // A malicious storage node withholds bodies: members receive a header
+      // with no transactions and cannot witness (Challenge 2).
+      tx::TransactionBlock outgoing;
+      outgoing.header = block->header;
+      if (!malicious_) outgoing.transactions = block->transactions;
+      Bytes enc = outgoing.Encode();
+      for (net::NodeId member : it->second) {
+        net::Message m;
+        m.from = net_id_;
+        m.to = member;
+        m.kind = kMsgTxBlock;
+        m.payload = enc;
+        m.wire_size = outgoing.WireSize();
+        net->Send(std::move(m));
+      }
+    }
+  }
+
+  // --- Push the witnessed bundle of batch round-1 to OC members we serve.
+  if (round >= 1) {
+    WitnessBundle bundle;
+    bundle.batch_round = round - 1;
+    auto wit = witnessed_by_batch_.find(round - 1);
+    if (wit != witnessed_by_batch_.end()) {
+      for (const auto& id : wit->second) {
+        auto stored = system_->block_store_.find(IdKey(id));
+        auto wstate = witness_state_.find(IdKey(id));
+        if (stored == system_->block_store_.end() ||
+            wstate == witness_state_.end()) {
+          continue;
+        }
+        WitnessedBlock wb;
+        wb.header = stored->second.block.header;
+        for (const auto& [pk, proof] : wstate->second.proofs) {
+          wb.proofs.push_back(proof);
+        }
+        for (const auto& t : stored->second.block.transactions) {
+          wb.accesses.push_back(TxAccess{t.Id(), t.from, t.to, t.amount,
+                                         t.nonce, t.submitted_at});
+        }
+        bundle.blocks.push_back(std::move(wb));
+      }
+    }
+    Bytes enc = bundle.Encode();
+    for (net::NodeId oc : system_->oc_net_ids_) {
+      // Only the member's primary storage node ships the bundle.
+      const auto* member = system_->StatelessByNetId(oc);
+      if (member == nullptr || member->primary_storage() != net_id_) continue;
+      net::Message m;
+      m.from = net_id_;
+      m.to = oc;
+      m.kind = kMsgWitnessBundle;
+      m.payload = enc;
+      m.wire_size = bundle.WireSize();
+      net->Send(std::move(m));
+    }
+  }
+
+  // --- Push execution requests derived from B_{r-1} to the ESCs formed at
+  // round r-2 (they witnessed the bodies they are about to execute).
+  if (round >= 2 && system_->chain().size() > round - 1) {
+    const tx::ProposalBlock& basis = system_->chain()[round - 1];
+    const auto* exec_reg = system_->RegistryFor(round - 2);
+    if (exec_reg != nullptr && !basis.shard_tx_blocks.empty()) {
+      for (int shard = 0; shard < p.shard_count(); ++shard) {
+        ExecRequest req;
+        req.round = round - 1;
+        req.shard = shard;
+        if (shard < static_cast<int>(basis.shard_tx_blocks.size())) {
+          req.block_ids = basis.shard_tx_blocks[shard];
+        }
+        if (shard < static_cast<int>(basis.shard_updates.size())) {
+          req.updates = basis.shard_updates[shard];
+        }
+        req.discarded = basis.discarded;
+        if (shard < static_cast<int>(basis.shard_roots.size())) {
+          req.shard_root = basis.shard_roots[shard];
+        }
+        req.all_roots = basis.shard_roots;
+        if (req.block_ids.empty() && req.updates.empty()) continue;
+        auto it = exec_reg->ec_by_shard.find(shard);
+        if (it == exec_reg->ec_by_shard.end()) continue;
+        req.members = it->second;
+        Bytes enc = req.Encode();
+        for (net::NodeId member : it->second) {
+          const auto* node = system_->StatelessByNetId(member);
+          if (node == nullptr || node->primary_storage() != net_id_) continue;
+          net::Message m;
+          m.from = net_id_;
+          m.to = member;
+          m.kind = kMsgExecRequest;
+          m.payload = enc;
+          m.wire_size = enc.size();
+          net->Send(std::move(m));
+        }
+      }
+    }
+  }
+}
+
+void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
+                                       bool from_gossip) {
+  auto up = WitnessUpload::Decode(msg.payload);
+  if (!up.ok()) return;
+  const std::string key = IdKey(up->proof.block_id);
+  auto stored = system_->block_store_.find(key);
+  if (stored == system_->block_store_.end()) return;
+
+  // Verify the witness signature over the block header.
+  Bytes signing = WitnessSigningBytes(stored->second.block.header);
+  if (!system_->provider()->Verify(up->proof.witness, signing,
+                                   up->proof.signature)) {
+    return;
+  }
+
+  WitnessState& w = witness_state_[key];
+  bool inserted = w.proofs.emplace(up->proof.witness, up->proof).second;
+  if (!inserted) return;
+
+  if (w.proofs.size() ==
+      static_cast<size_t>(system_->params().witness_threshold)) {
+    // Eligible for ordering: joins the batch of the round it completed in.
+    uint64_t batch = std::max(stored->second.batch_round, up->round);
+    witnessed_by_batch_[batch].push_back(up->proof.block_id);
+  }
+
+  if (!from_gossip && !malicious_) {
+    std::string gossip_key =
+        "wu" + key +
+        std::string(reinterpret_cast<const char*>(up->proof.witness.data()),
+                    32);
+    if (gossip_seen_.insert(gossip_key).second) {
+      GossipToPeers(kMsgWitnessUpload, msg.payload, msg.payload.size());
+    }
+  }
+}
+
+void StorageNodeActor::OnRelay(const net::Message& msg) {
+  auto relay = Relay::Decode(msg.payload);
+  if (!relay.ok()) return;
+  if (malicious_) return;  // Malicious storage drops routed traffic.
+  net::SimNetwork* net = system_->network();
+
+  auto forward = [&](net::NodeId dest) {
+    net::Message m;
+    m.from = net_id_;
+    m.to = dest;
+    m.kind = relay->inner_kind;
+    m.payload = relay->inner;
+    m.wire_size = relay->inner.size();
+    net->Send(std::move(m));
+  };
+
+  switch (relay->target) {
+    case Relay::kToNode:
+      if (relay->dest != net::kInvalidNode) forward(relay->dest);
+      break;
+    case Relay::kToOrderingCommittee:
+      for (net::NodeId oc : system_->oc_net_ids_) forward(oc);
+      break;
+    case Relay::kToShardCommittee: {
+      const auto* reg = system_->RegistryFor(relay->round);
+      if (reg == nullptr) break;
+      auto it = reg->ec_by_shard.find(relay->shard);
+      if (it == reg->ec_by_shard.end()) break;
+      for (net::NodeId member : it->second) forward(member);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StorageNodeActor::OnStateRequest(const net::Message& msg) {
+  auto req = StateRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+
+  const SystemOptions& opt = system_->options();
+  StateResponse resp;
+  resp.round = req->round;
+  resp.shard = req->shard;
+  const state::ShardedState& st = system_->canonical_state();
+  for (state::AccountId id : req->accounts) {
+    StateResponse::Entry e;
+    e.account = id;
+    auto acc = st.GetAccount(id);
+    e.present = acc.ok();
+    if (acc.ok()) e.value = *acc;
+    resp.entries.push_back(e);
+    if (opt.faithful_execution) {
+      state::MerkleProof proof = st.ProveAccount(id);
+      resp.proof_bytes += proof.WireSize();
+      resp.proofs.push_back(proof.Encode());
+    } else {
+      resp.proof_bytes += opt.state_proof_bytes_per_account;
+    }
+  }
+
+  net::Message m;
+  m.from = net_id_;
+  m.to = msg.from;
+  m.kind = kMsgStateResponse;
+  m.payload = resp.Encode();
+  m.wire_size = resp.WireSize();
+  system_->network()->Send(std::move(m));
+}
+
+void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
+  auto block = tx::ProposalBlock::Decode(msg.payload);
+  if (!block.ok()) return;
+  std::string key = "cm" + std::to_string(block->round);
+  if (!gossip_seen_.insert(key).second) return;
+
+  // Persist the proposal block (storage nodes keep the chain).
+  (void)db_->Put(ToBytes("block/" + std::to_string(block->round)),
+                 msg.payload);
+
+  system_->OnBlockCommitted(*block, system_->events()->now());
+
+  if (!from_gossip && !malicious_) {
+    GossipToPeers(kMsgCommit, msg.payload, msg.payload.size());
+  }
+}
+
+}  // namespace porygon::core

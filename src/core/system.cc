@@ -1,0 +1,515 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/codec.h"
+#include "common/log.h"
+
+namespace porygon::core {
+
+namespace {
+std::string IdKey(const crypto::Hash256& h) {
+  return std::string(reinterpret_cast<const char*>(h.data()), h.size());
+}
+
+/// Read-only snapshot wrapper: own-shard reads/writes hit the live state,
+/// foreign reads come from a pre-captured snapshot so every shard's
+/// cross-shard pre-execution observes the same pre-round values (each real
+/// ESC downloads the same committed snapshot).
+class SnapshotForeignView : public state::StateView {
+ public:
+  SnapshotForeignView(state::ShardedState* base, uint32_t own_shard,
+                      std::unordered_map<state::AccountId, state::Account>
+                          foreign_snapshot)
+      : base_(base),
+        own_shard_(own_shard),
+        foreign_(std::move(foreign_snapshot)) {}
+
+  uint32_t ShardOf(state::AccountId id) const override {
+    return base_->ShardOf(id);
+  }
+  state::Account GetOrDefault(state::AccountId id) const override {
+    if (base_->ShardOf(id) == own_shard_) return base_->GetOrDefault(id);
+    auto it = foreign_.find(id);
+    return it != foreign_.end() ? it->second : state::Account{};
+  }
+  void PutAccountBatch(
+      uint32_t shard,
+      const std::vector<std::pair<state::AccountId, state::Account>>& ws)
+      override {
+    if (shard == own_shard_) base_->PutAccountBatch(shard, ws);
+  }
+  crypto::Hash256 ShardRoot(uint32_t shard) const override {
+    return base_->ShardRoot(shard);
+  }
+
+ private:
+  state::ShardedState* base_;
+  uint32_t own_shard_;
+  std::unordered_map<state::AccountId, state::Account> foreign_;
+};
+}  // namespace
+
+PorygonSystem::PorygonSystem(const SystemOptions& options)
+    : options_(options), rng_(options.seed) {
+  network_ = std::make_unique<net::SimNetwork>(&events_, rng_.Fork());
+  network_->SetLatency(options_.params.latency_us,
+                       options_.params.latency_jitter_us);
+  if (options_.use_ed25519) {
+    provider_ = std::make_unique<crypto::Ed25519Provider>();
+  } else {
+    provider_ = std::make_unique<crypto::FastProvider>();
+  }
+  exec_state_ =
+      std::make_unique<state::ShardedState>(options_.params.shard_bits);
+
+  // --- Storage nodes ------------------------------------------------------
+  int malicious_storage = static_cast<int>(options_.num_storage_nodes *
+                                           options_.malicious_storage_fraction);
+  for (int i = 0; i < options_.num_storage_nodes; ++i) {
+    net::NodeId nid = network_->AddNode(
+        {options_.params.storage_bps, options_.params.storage_bps});
+    bool malicious = i < malicious_storage;
+    auto actor = std::make_unique<StorageNodeActor>(this, i, nid, malicious);
+    StorageNodeActor* raw = actor.get();
+    network_->SetHandler(nid,
+                         [raw](const net::Message& m) { raw->HandleMessage(m); });
+    storage_nodes_.push_back(std::move(actor));
+  }
+
+  // --- Stateless nodes ----------------------------------------------------
+  int malicious_stateless =
+      static_cast<int>(options_.num_stateless_nodes *
+                       options_.malicious_stateless_fraction);
+  // Genesis sortition decides the stable Ordering Committee: the oc_size
+  // lowest values (the paper lets the OC outlive rotating ECs, §IV-C2).
+  struct Draft {
+    crypto::KeyPair keys;
+    double genesis_sortition;
+    bool malicious;
+  };
+  std::vector<Draft> drafts;
+  for (int i = 0; i < options_.num_stateless_nodes; ++i) {
+    Draft d;
+    d.keys = provider_->GenerateKeyPair(&rng_);
+    auto a = Sortition::Assign(provider_.get(), d.keys.private_key, 0,
+                               crypto::ZeroHash(), 1.0, 0.0, 0);
+    d.genesis_sortition = a.sortition;
+    d.malicious = false;
+    drafts.push_back(std::move(d));
+  }
+  // Malicious stateless nodes are placed uniformly (§V assumption).
+  for (int i = 0; i < malicious_stateless; ++i) {
+    drafts[rng_.NextBelow(drafts.size())].malicious = true;
+  }
+  std::vector<int> order(drafts.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return drafts[a].genesis_sortition < drafts[b].genesis_sortition;
+  });
+  std::set<int> oc_set;
+  for (int i = 0;
+       i < static_cast<int>(order.size()) &&
+       static_cast<int>(oc_set.size()) < options_.oc_size;
+       ++i) {
+    oc_set.insert(order[i]);
+  }
+
+  for (int i = 0; i < options_.num_stateless_nodes; ++i) {
+    net::NodeId nid = network_->AddNode(
+        {options_.params.stateless_bps, options_.params.stateless_bps});
+    // m random storage connections (with one honest among them whp).
+    std::vector<net::NodeId> conns;
+    int m = std::min(options_.params.storage_connections,
+                     options_.num_storage_nodes);
+    std::set<int> chosen;
+    while (static_cast<int>(chosen.size()) < m) {
+      chosen.insert(
+          static_cast<int>(rng_.NextBelow(options_.num_storage_nodes)));
+    }
+    for (int s : chosen) conns.push_back(storage_nodes_[s]->net_id());
+    // Prefer an honest primary (a node retries primaries until it finds a
+    // responsive one; modeled by sorting honest connections first).
+    std::stable_sort(conns.begin(), conns.end(),
+                     [this](net::NodeId a, net::NodeId b) {
+                       auto honest = [this](net::NodeId id) {
+                         for (const auto& s : storage_nodes_) {
+                           if (s->net_id() == id) return !s->malicious();
+                         }
+                         return false;
+                       };
+                       return honest(a) && !honest(b);
+                     });
+
+    bool in_oc = oc_set.count(i) > 0;
+    auto actor = std::make_unique<StatelessNodeActor>(
+        this, i, nid, drafts[i].keys, std::move(conns), drafts[i].malicious,
+        in_oc);
+    StatelessNodeActor* raw = actor.get();
+    network_->SetHandler(nid,
+                         [raw](const net::Message& m) { raw->HandleMessage(m); });
+    if (in_oc) {
+      oc_keys_.push_back(drafts[i].keys.public_key);
+      oc_net_ids_.push_back(nid);
+    }
+    stateless_nodes_.push_back(std::move(actor));
+  }
+
+  // Leader: lowest genesis sortition among honest OC members (the honest
+  // common case; corrupted leaders yield empty rounds, Theorem 2).
+  for (int idx : order) {
+    if (oc_set.count(idx) > 0 && !drafts[idx].malicious) {
+      leader_net_id_ = stateless_nodes_[idx]->net_id();
+      break;
+    }
+  }
+
+  genesis_.height = 0;
+  genesis_.round = 0;
+  genesis_.shard_tx_blocks.assign(options_.params.shard_count(), {});
+  genesis_.shard_updates.assign(options_.params.shard_count(), {});
+}
+
+PorygonSystem::~PorygonSystem() = default;
+
+const StatelessNodeActor* PorygonSystem::StatelessByNetId(
+    net::NodeId id) const {
+  for (const auto& node : stateless_nodes_) {
+    if (node->net_id() == id) return node.get();
+  }
+  return nullptr;
+}
+
+void PorygonSystem::CreateAccounts(uint64_t count, uint64_t balance) {
+  // Batched per shard: one Merkle path-rehash pass per shard instead of one
+  // per account (million-account benches set up in seconds).
+  std::vector<std::vector<std::pair<state::AccountId, state::Account>>> by_shard(
+      options_.params.shard_count());
+  for (uint64_t i = 0; i < count; ++i) {
+    state::AccountId id = next_account_hint_ + i;
+    by_shard[exec_state_->ShardOf(id)].emplace_back(
+        id, state::Account{balance, 0});
+  }
+  for (int d = 0; d < options_.params.shard_count(); ++d) {
+    exec_state_->PutAccountBatch(d, by_shard[d]);
+  }
+  next_account_hint_ += count;
+}
+
+bool PorygonSystem::SubmitTransaction(tx::Transaction t) {
+  t.submitted_at = static_cast<uint64_t>(events_.now());
+  // Deterministic home storage node by tx id; clients talk to storage
+  // directly (client-side bandwidth is out of the model).
+  int home = static_cast<int>(crypto::HashPrefixU64(t.Id()) %
+                              storage_nodes_.size());
+  return storage_nodes_[home]->pool_.Add(t);
+}
+
+void PorygonSystem::RegisterAnnounce(const RoleAnnounce& announce) {
+  RoundRegistry& reg = registry_[announce.round];
+  if (static_cast<Role>(announce.role) == Role::kExecution) {
+    auto& members = reg.ec_by_shard[announce.shard];
+    if (std::find(members.begin(), members.end(), announce.node_id) ==
+        members.end()) {
+      members.push_back(announce.node_id);
+    }
+  }
+  // Bound memory.
+  while (!registry_.empty() && registry_.begin()->first + 6 < announce.round) {
+    registry_.erase(registry_.begin());
+  }
+}
+
+const PorygonSystem::RoundRegistry* PorygonSystem::RegistryFor(
+    uint64_t round) const {
+  auto it = registry_.find(round);
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+ExecutionInput PorygonSystem::BuildExecutionInput(
+    const tx::ProposalBlock& based_on, uint32_t shard) const {
+  ExecutionInput input;
+  input.shard = shard;
+  if (shard < based_on.shard_updates.size()) {
+    input.updates = based_on.shard_updates[shard];
+  }
+  std::set<std::string> discarded;
+  for (const auto& id : based_on.discarded) discarded.insert(IdKey(id));
+  if (shard < based_on.shard_tx_blocks.size()) {
+    for (const auto& id : based_on.shard_tx_blocks[shard]) {
+      auto stored = block_store_.find(IdKey(id));
+      if (stored == block_store_.end()) continue;
+      for (const auto& t : stored->second.block.transactions) {
+        if (discarded.count(IdKey(t.Id())) > 0) continue;
+        if (t.IsCrossShard(options_.params.shard_bits)) {
+          input.cross_shard.push_back(t);
+        } else {
+          input.intra_shard.push_back(t);
+        }
+      }
+    }
+  }
+  return input;
+}
+
+void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
+  // Applies the inputs of proposal block B_{exec_round} to the canonical
+  // state, recording per-shard results. This equals what every honest ESC
+  // computes for that proposal (determinism, Lemma 3).
+  if (exec_round < 1 || exec_round >= chain_.size()) return;
+  if (exec_cache_.count(exec_round) > 0) return;
+  const tx::ProposalBlock& basis = chain_[exec_round];
+  const int shards = options_.params.shard_count();
+
+  // Pre-capture foreign-account values for cross-shard pre-execution so all
+  // shards observe the same snapshot.
+  std::vector<ExecutionInput> inputs;
+  std::unordered_map<state::AccountId, state::Account> snapshot;
+  for (int d = 0; d < shards; ++d) {
+    inputs.push_back(BuildExecutionInput(basis, d));
+    for (const auto& t : inputs.back().cross_shard) {
+      snapshot[t.from] = exec_state_->GetOrDefault(t.from);
+      snapshot[t.to] = exec_state_->GetOrDefault(t.to);
+    }
+  }
+
+  CachedExec cache;
+  cache.roots.resize(shards);
+  cache.s_sets.resize(shards);
+  cache.intra_applied.resize(shards);
+  cache.cross_pre.resize(shards);
+  cache.failed.resize(shards);
+  for (int d = 0; d < shards; ++d) {
+    SnapshotForeignView view(exec_state_.get(), d, snapshot);
+    ExecutionResult r = ShardExecutor::Execute(&view, inputs[d]);
+    cache.roots[d] = r.shard_root;
+    cache.s_sets[d] = r.cross_updates;
+    cache.intra_applied[d] = r.intra_applied;
+    cache.cross_pre[d] = r.cross_pre_executed;
+    cache.failed[d] = static_cast<uint32_t>(r.failed.size());
+    for (const auto& f : r.failed) {
+      cache.failed_ids.insert(IdKey(f.id));
+    }
+  }
+  exec_cache_[exec_round] = std::move(cache);
+  // Bound memory.
+  while (!exec_cache_.empty() &&
+         exec_cache_.begin()->first + 8 < exec_round) {
+    exec_cache_.erase(exec_cache_.begin());
+  }
+}
+
+void PorygonSystem::StartRound(uint64_t round) {
+  round_start_times_[round] = events_.now();
+  // Advance the canonical state. Fast mode leads by one round (results are
+  // pre-computed for adopting ESCs); faithful mode lags so state requests
+  // during this round serve the snapshot the executing ESC must see.
+  if (options_.faithful_execution) {
+    if (round >= 2) AdvanceExecState(round - 2);
+  } else {
+    AdvanceExecState(round - 1);
+  }
+  for (auto& storage : storage_nodes_) {
+    storage->OnRoundStart(round);
+  }
+}
+
+void PorygonSystem::OnBlockCommitted(const tx::ProposalBlock& block,
+                                     net::SimTime when) {
+  if (commit_times_.count(block.round) > 0) return;  // First receipt wins.
+  commit_times_[block.round] = when;
+  if (chain_.size() != block.round) {
+    // Out-of-order commit (should not happen with a single leader).
+    PORYGON_LOG(kWarn) << "out-of-order commit of round " << block.round;
+    return;
+  }
+  chain_.push_back(block);
+  ++committed_rounds_;
+  ++metrics_.committed_blocks;
+
+  bool empty = true;
+  for (const auto& list : block.shard_tx_blocks) {
+    if (!list.empty()) empty = false;
+  }
+  if (empty) ++metrics_.empty_rounds;
+
+  if (block.round >= 1 && commit_times_.count(block.round - 1) > 0) {
+    metrics_.block_latencies_s.push_back(net::ToSeconds(
+        when - commit_times_[block.round - 1]));
+  }
+  metrics_.discarded_txs += block.discarded.size();
+
+  // Replay verification: committed roots must match the canonical replay
+  // of the inputs that produced them (exec round = block.round - 2).
+  if (block.round >= 2) {
+    auto cached = exec_cache_.find(block.round - 2);
+    if (cached != exec_cache_.end()) {
+      for (size_t d = 0; d < block.shard_roots.size() &&
+                         d < cached->second.roots.size();
+           ++d) {
+        // A shard without accepted results keeps its previous root, which
+        // is also consistent; only flag mismatches on changed roots.
+        const auto& prev_roots = chain_[block.round - 1].shard_roots;
+        bool unchanged = d < prev_roots.size() &&
+                         block.shard_roots[d] == prev_roots[d];
+        if (!unchanged && block.shard_roots[d] != cached->second.roots[d]) {
+          ++metrics_.replay_mismatches;
+        }
+      }
+    }
+  }
+
+  AccountCommittedBatch(block);
+
+  // Prune transaction blocks that can no longer be referenced (metrics look
+  // back at most 4 rounds; executions at most 2).
+  if (block.round > 8) {
+    for (auto it = block_store_.begin(); it != block_store_.end();) {
+      if (it->second.batch_round + 8 < block.round) {
+        it = block_store_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  MaybeScheduleNextRound();
+}
+
+void PorygonSystem::MaybeScheduleNextRound() {
+  // Schedule the next round after the reconfiguration interval plus jitter
+  // ("a fixed interval of 2 seconds plus random numerical values", §VI).
+  if (round_scheduled_) return;
+  if (static_cast<int>(committed_rounds_) >= target_rounds_) return;
+  if (chain_.empty()) return;
+  round_scheduled_ = true;
+  net::SimTime jitter = static_cast<net::SimTime>(
+      rng_.NextBelow(options_.params.reconfig_interval_us / 10 + 1));
+  uint64_t next = chain_.back().round + 1;
+  events_.ScheduleAfter(options_.params.reconfig_interval_us + jitter,
+                        [this, next] {
+                          round_scheduled_ = false;
+                          StartRound(next);
+                        });
+}
+
+void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
+  const uint64_t r = block.round;
+  const double now_s = net::ToSeconds(events_.now());
+
+  // Intra-shard transactions of the blocks listed in L_{r-2} finalize now
+  // (their execution roots are committed in B_r): batch witnessed at round
+  // r-3, commit at r (+3 rounds, §IV-D2).
+  auto account_list = [&](const tx::ProposalBlock& listing, bool want_cross,
+                          uint64_t exec_round) {
+    std::set<std::string> discarded;
+    for (const auto& id : listing.discarded) discarded.insert(IdKey(id));
+    const std::set<std::string>* failed = nullptr;
+    auto cached = exec_cache_.find(exec_round);
+    if (cached != exec_cache_.end()) failed = &cached->second.failed_ids;
+
+    for (const auto& shard_list : listing.shard_tx_blocks) {
+      for (const auto& block_id : shard_list) {
+        auto stored = block_store_.find(IdKey(block_id));
+        if (stored == block_store_.end()) continue;
+        for (const auto& t : stored->second.block.transactions) {
+          if (t.IsCrossShard(options_.params.shard_bits) != want_cross) {
+            continue;
+          }
+          std::string tid = IdKey(t.Id());
+          if (discarded.count(tid) > 0) continue;
+          if (failed != nullptr && failed->count(tid) > 0) {
+            ++metrics_.failed_txs;
+            continue;
+          }
+          if (want_cross) {
+            ++metrics_.committed_cross_txs;
+          } else {
+            ++metrics_.committed_intra_txs;
+          }
+          metrics_.user_latencies_s.push_back(
+              now_s - net::ToSeconds(static_cast<net::SimTime>(
+                          t.submitted_at)));
+          auto ws = round_start_times_.find(
+              stored->second.block.header.round_created);
+          if (ws != round_start_times_.end()) {
+            metrics_.commit_latencies_s.push_back(
+                now_s - net::ToSeconds(ws->second));
+          }
+        }
+      }
+    }
+  };
+
+  if (r >= 2 && chain_.size() > r - 2) {
+    account_list(chain_[r - 2], /*want_cross=*/false, /*exec_round=*/r - 2);
+  }
+  if (r >= 4 && chain_.size() > r - 4) {
+    account_list(chain_[r - 4], /*want_cross=*/true, /*exec_round=*/r - 4);
+  }
+}
+
+void PorygonSystem::Run(int rounds, net::SimTime max_sim_time) {
+  if (!started_) {
+    started_ = true;
+    // Seal genesis with the funded state.
+    genesis_.shard_roots.clear();
+    for (int d = 0; d < options_.params.shard_count(); ++d) {
+      genesis_.shard_roots.push_back(exec_state_->ShardRoot(d));
+    }
+    genesis_.state_root = exec_state_->GlobalRoot();
+    genesis_.ordering_threshold = options_.params.ordering_fraction;
+    genesis_.execution_threshold = options_.params.execution_fraction;
+    chain_.push_back(genesis_);
+    commit_times_[0] = events_.now();
+    round_scheduled_ = true;
+    events_.ScheduleAfter(options_.params.reconfig_interval_us, [this] {
+      round_scheduled_ = false;
+      StartRound(1);
+    });
+  }
+  target_rounds_ = static_cast<int>(committed_rounds_) + rounds;
+  MaybeScheduleNextRound();
+
+  while (static_cast<int>(committed_rounds_) < target_rounds_ &&
+         events_.now() <= max_sim_time) {
+    if (!events_.RunNext()) break;  // Queue drained: the protocol stalled.
+  }
+}
+
+size_t PorygonSystem::RegisteredEcMembers(uint64_t round) const {
+  auto it = registry_.find(round);
+  if (it == registry_.end()) return 0;
+  size_t n = 0;
+  for (const auto& [shard, members] : it->second.ec_by_shard) {
+    n += members.size();
+  }
+  return n;
+}
+
+net::SimTime PorygonSystem::DrawSessionEnd() {
+  return events_.now() +
+         net::FromSeconds(rng_.NextExponential(options_.mean_session_s));
+}
+
+std::map<int, double> PorygonSystem::StatelessPhaseTraffic() const {
+  std::map<int, double> per_phase;
+  uint64_t rounds = committed_rounds_ > 0 ? committed_rounds_ : 1;
+  size_t nodes = stateless_nodes_.size() > 0 ? stateless_nodes_.size() : 1;
+  for (const auto& node : stateless_nodes_) {
+    const net::TrafficStats& stats = network_->StatsFor(node->net_id());
+    for (const auto& [kind, bytes] : stats.sent_by_kind) {
+      per_phase[PhaseOfKind(kind)] += static_cast<double>(bytes);
+    }
+    for (const auto& [kind, bytes] : stats.received_by_kind) {
+      per_phase[PhaseOfKind(kind)] += static_cast<double>(bytes);
+    }
+  }
+  for (auto& [phase, bytes] : per_phase) {
+    bytes /= static_cast<double>(rounds) * static_cast<double>(nodes);
+  }
+  return per_phase;
+}
+
+}  // namespace porygon::core

@@ -1,0 +1,400 @@
+#ifndef PORYGON_CORE_SYSTEM_H_
+#define PORYGON_CORE_SYSTEM_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/ba_star.h"
+#include "core/committee.h"
+#include "core/coordinator.h"
+#include "core/execution.h"
+#include "core/messages.h"
+#include "core/params.h"
+#include "core/pipeline.h"
+#include "crypto/provider.h"
+#include "net/network.h"
+#include "state/sharded_state.h"
+#include "storage/db.h"
+#include "storage/env.h"
+#include "tx/blocks.h"
+#include "tx/txpool.h"
+
+namespace porygon::core {
+
+class PorygonSystem;
+
+/// Construction-time options beyond protocol Params.
+struct SystemOptions {
+  Params params;
+  int num_storage_nodes = 2;
+  int num_stateless_nodes = 100;
+  /// Fixed Ordering Committee size, drawn from the lowest genesis-VRF
+  /// sortition values. The paper lets the OC outlive ECs (§IV-C2); this
+  /// implementation keeps one OC for the run and rotates ECs every round.
+  int oc_size = 10;
+  /// Transaction blocks each storage node packages per shard per round.
+  size_t blocks_per_shard_round = 2;
+  /// Deterministic seed for keys, topology, jitter, adversary placement.
+  uint64_t seed = 1;
+  /// Real Ed25519 instead of the fast MAC backend (slow; small tests only).
+  bool use_ed25519 = false;
+  /// Faithful mode: storage nodes materialize real Merkle proofs in state
+  /// responses and every ESC member independently rebuilds a PartialState
+  /// and executes. Off: one representative execution per (round, shard) is
+  /// computed and shared (identical by determinism), with network costs
+  /// still charged per member.
+  bool faithful_execution = false;
+  /// Modeled multiproof cost per account when proofs are not materialized.
+  size_t state_proof_bytes_per_account = 128;
+  /// Fraction of storage nodes that withhold transaction bodies
+  /// (data-availability attack, Challenge 2).
+  double malicious_storage_fraction = 0.0;
+  /// Fraction of stateless nodes that stay silent (crash-style faults).
+  double malicious_stateless_fraction = 0.0;
+  /// Mean stateless-node session length in seconds (0 = nodes never
+  /// leave) — churn experiments (Fig 8d). Expired nodes skip a round to
+  /// "rejoin", then resume with a fresh session. Porygon tolerates this
+  /// well because EC lifecycles are only 3 rounds; the Blockene baseline's
+  /// 50-block committees stall instead. The stable OC (long-lived per
+  /// §IV-C2) is exempt.
+  double mean_session_s = 0;
+};
+
+/// Everything the experiments measure.
+struct SystemMetrics {
+  uint64_t committed_intra_txs = 0;
+  uint64_t committed_cross_txs = 0;
+  uint64_t discarded_txs = 0;
+  uint64_t failed_txs = 0;
+  uint64_t committed_blocks = 0;
+  uint64_t empty_rounds = 0;
+  /// Consecutive commit-to-commit gaps (seconds).
+  std::vector<double> block_latencies_s;
+  /// Witness-to-commit per transaction (seconds).
+  std::vector<double> commit_latencies_s;
+  /// Submission-to-commit per transaction (seconds).
+  std::vector<double> user_latencies_s;
+  /// Root mismatches detected during storage replay (0 in honest runs).
+  uint64_t replay_mismatches = 0;
+
+  double Tps(double duration_s) const {
+    return duration_s > 0
+               ? (committed_intra_txs + committed_cross_txs) / duration_s
+               : 0;
+  }
+  static double Mean(const std::vector<double>& v) {
+    if (v.empty()) return 0;
+    double s = 0;
+    for (double x : v) s += x;
+    return s / v.size();
+  }
+};
+
+/// A storage node: holds the full state and the block store, packages
+/// transaction blocks, routes stateless-node traffic, collects witness
+/// proofs, serves state downloads, and applies committed blocks (§IV-B1).
+class StorageNodeActor {
+ public:
+  StorageNodeActor(PorygonSystem* system, int index, net::NodeId net_id,
+                   bool malicious);
+
+  void HandleMessage(const net::Message& msg);
+  /// Round r has started: notify primaries; then (after a grace period)
+  /// package blocks for batch r, push the witness bundle of batch r-1 to
+  /// OC members, and push exec requests from B_{r-1}.
+  void OnRoundStart(uint64_t round);
+  /// The deferred part of OnRoundStart (blocks/bundles/exec requests).
+  void DistributeRoundWork(uint64_t round);
+
+  int index() const { return index_; }
+  net::NodeId net_id() const { return net_id_; }
+  bool malicious() const { return malicious_; }
+  uint64_t db_bytes() const;
+  /// Diagnostics: blocks that reached Tw in batch `round`.
+  size_t WitnessedInBatch(uint64_t round) const {
+    auto it = witnessed_by_batch_.find(round);
+    return it == witnessed_by_batch_.end() ? 0 : it->second.size();
+  }
+  size_t pool_pending() const { return pool_.PendingTotal(); }
+
+ private:
+  friend class PorygonSystem;
+
+  void OnSubmitTx(const net::Message& msg);
+  void OnWitnessUpload(const net::Message& msg, bool from_gossip);
+  void OnRelay(const net::Message& msg);
+  void OnStateRequest(const net::Message& msg);
+  void OnCommit(const net::Message& msg, bool from_gossip);
+  void OnRoleAnnounce(const net::Message& msg, bool from_gossip);
+  void OnGossip(const net::Message& msg);
+
+  void GossipToPeers(uint16_t inner_kind, const Bytes& payload,
+                     size_t wire_size);
+
+  PorygonSystem* system_;
+  int index_;
+  net::NodeId net_id_;
+  bool malicious_;
+
+  tx::TxPool pool_;
+  std::unique_ptr<storage::MemEnv> env_;
+  std::unique_ptr<storage::Db> db_;
+
+  // Witness bookkeeping: block id -> distinct proofs; per-batch witnessed
+  // block ids (reached Tw).
+  struct WitnessState {
+    std::map<crypto::PublicKey, tx::WitnessProof> proofs;
+    bool announced_to_oc = false;
+  };
+  std::unordered_map<std::string, WitnessState> witness_state_;
+  std::map<uint64_t, std::vector<tx::BlockId>> witnessed_by_batch_;
+
+  // Deduplication of gossiped payloads.
+  std::unordered_set<std::string> gossip_seen_;
+
+  // Blocks offered this round, per shard (serves late role announcements).
+  uint64_t last_distributed_round_ = 0;
+  std::map<uint32_t, std::vector<std::string>> offered_blocks_;
+};
+
+/// A stateless node: ~5 MB footprint, joins committees by VRF, witnesses,
+/// orders (if OC), executes (ESC), and votes.
+class StatelessNodeActor {
+ public:
+  StatelessNodeActor(PorygonSystem* system, int index, net::NodeId net_id,
+                     crypto::KeyPair keys, std::vector<net::NodeId> storages,
+                     bool malicious, bool in_oc);
+
+  void HandleMessage(const net::Message& msg);
+  /// Storage primary told us a new round started (B_{r-1} attached).
+  void OnNewRound(const tx::ProposalBlock& prev_block, uint64_t round);
+
+  int index() const { return index_; }
+  net::NodeId net_id() const { return net_id_; }
+  const crypto::PublicKey& public_key() const { return keys_.public_key; }
+  /// The storage node this stateless node downloads bundles/blocks from.
+  net::NodeId primary_storage() const {
+    return storages_.empty() ? net::kInvalidNode : storages_[0];
+  }
+  bool in_oc() const { return in_oc_; }
+  bool malicious() const { return malicious_; }
+  /// Modeled storage footprint in bytes (Fig 9a): latest proposal block,
+  /// committee public keys, and transiently-held witnessed block bodies.
+  uint64_t StorageFootprintBytes() const;
+  /// Diagnostics: merged witnessed blocks this OC member holds for batch r.
+  size_t BundleSizeFor(uint64_t round) const {
+    auto it = bundles_.find(round);
+    return it == bundles_.end() ? 0 : it->second.size();
+  }
+  uint64_t current_round() const { return current_round_; }
+
+ private:
+  friend class PorygonSystem;
+
+  // --- EC paths ---------------------------------------------------------
+  void OnTxBlock(const net::Message& msg);
+  void OnExecRequest(const net::Message& msg);
+  void OnStateResponse(const net::Message& msg);
+  void RunExecution();
+
+  // --- OC paths ---------------------------------------------------------
+  void OnWitnessBundle(const net::Message& msg);
+  void OnProposal(const net::Message& msg);
+  void OnVote(const net::Message& msg);
+  void OnExecResult(const net::Message& msg);
+  void MaybePropose();
+  void BroadcastToOc(uint16_t kind, const Bytes& payload);
+  void StartConsensus(const tx::ProposalBlock& proposal);
+  void OnDecision(const consensus::DecisionCert& cert);
+
+  void SendToPrimary(uint16_t kind, Bytes payload, size_t wire_size = 0);
+  void SendToAllStorages(uint16_t kind, const Bytes& payload,
+                         size_t wire_size = 0);
+
+  PorygonSystem* system_;
+  int index_;
+  net::NodeId net_id_;
+  crypto::KeyPair keys_;
+  std::vector<net::NodeId> storages_;  // m connections; [0] is primary.
+  bool malicious_;
+  bool in_oc_;
+
+  uint64_t current_round_ = 0;
+  net::SimTime session_end_ = net::kSimTimeNever;  // Churn (Fig 8d).
+  crypto::Hash256 prev_hash_{};
+  tx::ProposalBlock last_block_;
+  std::optional<Assignment> assignment_;  // EC role for current round.
+
+  // Witnessed blocks held between Witness and Execution phases, keyed by
+  // block id: bodies + access lists (pruned after execution).
+  struct HeldBlock {
+    tx::TransactionBlockHeader header;
+    std::vector<tx::Transaction> txs;
+    uint64_t witnessed_round = 0;
+  };
+  std::map<std::string, HeldBlock> held_blocks_;
+
+  // Execution-phase scratch (ESC member).
+  struct ExecTask {
+    ExecRequest request;
+    uint64_t started_round = 0;
+    bool state_requested = false;
+    std::optional<StateResponse> state;
+  };
+  std::optional<ExecTask> exec_task_;
+
+  // --- OC state (only used when in_oc_) ----------------------------------
+  struct PendingExec {
+    std::map<std::string, int> result_votes;            // Result key -> count.
+    std::map<std::string, ExecResultMsg> payloads;      // Result key -> data.
+    std::set<crypto::PublicKey> voters;
+  };
+  // Merged witnessed blocks per batch round (id -> block).
+  std::map<uint64_t, std::map<std::string, WitnessedBlock>> bundles_;
+  // Exec results per (exec round, shard).
+  std::map<std::pair<uint64_t, uint32_t>, PendingExec> exec_results_;
+  std::unique_ptr<consensus::BaStar> ba_;
+  std::vector<consensus::Vote> pending_votes_;  // Early votes pre-proposal.
+  std::unique_ptr<CrossShardCoordinator> coordinator_;  // Leader only.
+  bool proposed_this_round_ = false;
+  tx::ProposalBlock pending_proposal_;  // Leader's own proposal content.
+  std::map<std::string, tx::ProposalBlock> proposals_seen_;  // By hash.
+  std::optional<crypto::Hash256> decided_hash_;
+};
+
+/// Builds and drives a full Porygon deployment over the discrete-event
+/// network: storage nodes, stateless nodes, clients, rounds, and metrics.
+class PorygonSystem {
+ public:
+  explicit PorygonSystem(const SystemOptions& options);
+  ~PorygonSystem();
+
+  PorygonSystem(const PorygonSystem&) = delete;
+  PorygonSystem& operator=(const PorygonSystem&) = delete;
+
+  /// Creates `count` funded accounts (balance each) spread over shards.
+  void CreateAccounts(uint64_t count, uint64_t balance);
+
+  /// Client-submits a transaction to a deterministic storage node at the
+  /// current virtual time. Returns false on mempool duplicate.
+  bool SubmitTransaction(tx::Transaction t);
+
+  /// Starts the protocol (genesis block, first round) and runs until
+  /// `rounds` proposal blocks have committed (or `max_sim_time` passes).
+  void Run(int rounds, net::SimTime max_sim_time = net::kSimTimeNever);
+
+  const SystemMetrics& metrics() const { return metrics_; }
+  const std::vector<tx::ProposalBlock>& chain() const { return chain_; }
+  const state::ShardedState& canonical_state() const { return *exec_state_; }
+  net::SimNetwork* network() { return network_.get(); }
+  net::EventQueue* events() { return &events_; }
+  const SystemOptions& options() const { return options_; }
+  const Params& params() const { return options_.params; }
+  crypto::CryptoProvider* provider() { return provider_.get(); }
+  double sim_seconds() const { return net::ToSeconds(events_.now()); }
+
+  StorageNodeActor* storage_node(int i) { return storage_nodes_[i].get(); }
+  StatelessNodeActor* stateless_node(int i) {
+    return stateless_nodes_[i].get();
+  }
+  /// Stateless node by simulated network address (nullptr if unknown).
+  const StatelessNodeActor* StatelessByNetId(net::NodeId id) const;
+  int num_storage_nodes() const {
+    return static_cast<int>(storage_nodes_.size());
+  }
+  int num_stateless_nodes() const {
+    return static_cast<int>(stateless_nodes_.size());
+  }
+
+  /// Aggregate traffic of stateless nodes per pipeline phase (Fig 9b),
+  /// bytes per node per committed round, averaged.
+  std::map<int, double> StatelessPhaseTraffic() const;
+
+  /// Draws the end time of a fresh node session (churn model).
+  net::SimTime DrawSessionEnd();
+
+  /// Registered EC members for `round` (diagnostics).
+  size_t RegisteredEcMembers(uint64_t round) const;
+
+ private:
+  friend class StorageNodeActor;
+  friend class StatelessNodeActor;
+
+  // --- Shared infrastructure accessed by actors --------------------------
+  struct StoredBlock {
+    tx::TransactionBlock block;
+    uint64_t batch_round;
+  };
+
+  // Block store shared by honest storage nodes (replication elided).
+  std::unordered_map<std::string, StoredBlock> block_store_;
+
+  // Canonical execution state (honest storage nodes replicate identically;
+  // kept once). Advanced each round by applying proposal-block inputs.
+  std::unique_ptr<state::ShardedState> exec_state_;
+
+  // Execution-result cache per exec round: per-shard results, computed once
+  // when the state advances (fast mode) or verified against (faithful).
+  struct CachedExec {
+    std::vector<crypto::Hash256> roots;
+    std::vector<std::vector<tx::StateUpdate>> s_sets;
+    std::vector<uint32_t> intra_applied;
+    std::vector<uint32_t> cross_pre;
+    std::vector<uint32_t> failed;
+    std::set<std::string> failed_ids;
+  };
+  std::map<uint64_t, CachedExec> exec_cache_;
+
+  // Committee registry (as known to storage nodes via announcements; kept
+  // centrally because honest storage nodes converge on it within a hop).
+  struct RoundRegistry {
+    std::vector<net::NodeId> oc_members;
+    std::map<uint32_t, std::vector<net::NodeId>> ec_by_shard;
+  };
+  std::map<uint64_t, RoundRegistry> registry_;
+
+  void RegisterAnnounce(const RoleAnnounce& announce);
+  const RoundRegistry* RegistryFor(uint64_t round) const;
+
+  // --- Round driving -----------------------------------------------------
+  void StartRound(uint64_t round);
+  void MaybeScheduleNextRound();
+  void OnBlockCommitted(const tx::ProposalBlock& block, net::SimTime when);
+  void AdvanceExecState(uint64_t exec_round);
+  ExecutionInput BuildExecutionInput(const tx::ProposalBlock& based_on,
+                                     uint32_t shard) const;
+  void AccountCommittedBatch(const tx::ProposalBlock& committed);
+
+  tx::ProposalBlock genesis_;
+  std::vector<tx::ProposalBlock> chain_;
+  std::map<uint64_t, net::SimTime> round_start_times_;
+  std::map<uint64_t, net::SimTime> commit_times_;
+  uint64_t committed_rounds_ = 0;
+  int target_rounds_ = 0;
+  bool started_ = false;
+  bool round_scheduled_ = false;
+
+  SystemOptions options_;
+  Rng rng_;
+  net::EventQueue events_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::unique_ptr<crypto::CryptoProvider> provider_;
+  std::vector<std::unique_ptr<StorageNodeActor>> storage_nodes_;
+  std::vector<std::unique_ptr<StatelessNodeActor>> stateless_nodes_;
+  net::NodeId leader_net_id_ = net::kInvalidNode;
+  std::vector<crypto::PublicKey> oc_keys_;
+  std::vector<net::NodeId> oc_net_ids_;
+  SystemMetrics metrics_;
+  uint64_t next_account_hint_ = 1;
+};
+
+}  // namespace porygon::core
+
+#endif  // PORYGON_CORE_SYSTEM_H_

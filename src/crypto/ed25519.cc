@@ -1,0 +1,225 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+#include <optional>
+
+#include "crypto/fe25519.h"
+#include "crypto/sc25519.h"
+#include "crypto/sha512.h"
+
+namespace porygon::crypto {
+
+namespace {
+
+// Point on the twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 in extended
+// coordinates: x = X/Z, y = Y/Z, T = XY/Z.
+struct GePoint {
+  Fe25519 x, y, z, t;
+};
+
+GePoint GeIdentity() {
+  return GePoint{FeZero(), FeOne(), FeOne(), FeZero()};
+}
+
+// Unified addition (add-2008-hwcd-3 with a = -1). Complete on Ed25519
+// because -1 is square and d is non-square mod p, so it also serves as the
+// doubling formula.
+GePoint GeAdd(const GePoint& p, const GePoint& q) {
+  static const Fe25519 k2d = FeAdd(FeEdwardsD(), FeEdwardsD());
+  Fe25519 a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  Fe25519 b = FeMul(FeAdd(p.y, p.x), FeAdd(q.y, q.x));
+  Fe25519 c = FeMul(FeMul(p.t, k2d), q.t);
+  Fe25519 d = FeMul(FeAdd(p.z, p.z), q.z);
+  Fe25519 e = FeSub(b, a);
+  Fe25519 f = FeSub(d, c);
+  Fe25519 g = FeAdd(d, c);
+  Fe25519 h = FeAdd(b, a);
+  GePoint r;
+  r.x = FeMul(e, f);
+  r.y = FeMul(g, h);
+  r.t = FeMul(e, h);
+  r.z = FeMul(f, g);
+  return r;
+}
+
+GePoint GeNeg(const GePoint& p) {
+  GePoint r;
+  r.x = FeNeg(p.x);
+  r.y = p.y;
+  r.z = p.z;
+  r.t = FeNeg(p.t);
+  return r;
+}
+
+// MSB-first double-and-add. Not constant time (see fe25519.h rationale).
+GePoint GeScalarMul(const Scalar& s, const GePoint& p) {
+  GePoint acc = GeIdentity();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) acc = GeAdd(acc, acc);
+      if ((s[byte] >> bit) & 1) {
+        acc = GeAdd(acc, p);
+        started = true;
+      }
+    }
+  }
+  return acc;
+}
+
+std::array<uint8_t, 32> GeEncode(const GePoint& p) {
+  Fe25519 zinv = FeInvert(p.z);
+  Fe25519 x = FeMul(p.x, zinv);
+  Fe25519 y = FeMul(p.y, zinv);
+  auto out = FeToBytes(y);
+  if (FeIsNegative(x)) out[31] |= 0x80;
+  return out;
+}
+
+// Decompresses a point; empty optional if the encoding is not on the curve.
+std::optional<GePoint> GeDecode(const uint8_t bytes[32]) {
+  Fe25519 y = FeFromBytes(bytes);
+  bool sign = (bytes[31] & 0x80) != 0;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1). Compute the candidate square root via
+  // x = u v^3 (u v^7)^((p-5)/8) where u = y^2-1, v = d y^2+1.
+  Fe25519 y2 = FeSquare(y);
+  Fe25519 u = FeSub(y2, FeOne());
+  Fe25519 v = FeAdd(FeMul(FeEdwardsD(), y2), FeOne());
+
+  Fe25519 v3 = FeMul(FeSquare(v), v);
+  Fe25519 v7 = FeMul(FeSquare(v3), v);
+  Fe25519 x = FeMul(FeMul(u, v3), FePowPMinus5Div8(FeMul(u, v7)));
+
+  Fe25519 vx2 = FeMul(v, FeSquare(x));
+  if (!FeEqual(vx2, u)) {
+    if (FeEqual(vx2, FeNeg(u))) {
+      x = FeMul(x, FeSqrtM1());
+    } else {
+      return std::nullopt;  // Not a quadratic residue: invalid point.
+    }
+  }
+  if (FeIsZero(x) && sign) return std::nullopt;  // -0 is not canonical.
+  if (FeIsNegative(x) != sign) x = FeNeg(x);
+
+  GePoint p;
+  p.x = x;
+  p.y = y;
+  p.z = FeOne();
+  p.t = FeMul(x, y);
+  return p;
+}
+
+// The standard base point: y = 4/5, even x.
+const GePoint& GeBase() {
+  static const GePoint kBase = [] {
+    Fe25519 y = FeMul(FeFromU64(4), FeInvert(FeFromU64(5)));
+    auto enc = FeToBytes(y);  // Sign bit 0 selects the even-x root.
+    auto p = GeDecode(enc.data());
+    return *p;  // The base point always decodes.
+  }();
+  return kBase;
+}
+
+// Clamps the lower half of the SHA-512 key expansion per RFC 8032.
+Scalar ClampScalar(const uint8_t h[32]) {
+  Scalar a;
+  std::memcpy(a.data(), h, 32);
+  a[0] &= 0xf8;
+  a[31] &= 0x7f;
+  a[31] |= 0x40;
+  return a;
+}
+
+}  // namespace
+
+PublicKey Ed25519DerivePublicKey(const PrivateKey& seed) {
+  Hash512 h = Sha512::Hash(ByteView(seed.data(), seed.size()));
+  Scalar a = ClampScalar(h.data());
+  return GeEncode(GeScalarMul(a, GeBase()));
+}
+
+KeyPair Ed25519KeyPairFromSeed(const PrivateKey& seed) {
+  return KeyPair{seed, Ed25519DerivePublicKey(seed)};
+}
+
+KeyPair Ed25519GenerateKeyPair(Rng* rng) {
+  PrivateKey seed;
+  Bytes random = rng->NextBytes(seed.size());
+  std::memcpy(seed.data(), random.data(), seed.size());
+  return Ed25519KeyPairFromSeed(seed);
+}
+
+Signature Ed25519Sign(const PrivateKey& seed, ByteView message) {
+  Hash512 h = Sha512::Hash(ByteView(seed.data(), seed.size()));
+  Scalar a = ClampScalar(h.data());
+  PublicKey pub = GeEncode(GeScalarMul(a, GeBase()));
+
+  // r = H(prefix || M) mod l, deterministic nonce.
+  Sha512 hr;
+  hr.Update(ByteView(h.data() + 32, 32));
+  hr.Update(message);
+  Hash512 r64 = hr.Finish();
+  Scalar r = ScReduce64(r64.data());
+
+  auto r_enc = GeEncode(GeScalarMul(r, GeBase()));
+
+  // k = H(R || A || M) mod l.
+  Sha512 hk;
+  hk.Update(ByteView(r_enc.data(), r_enc.size()));
+  hk.Update(ByteView(pub.data(), pub.size()));
+  hk.Update(message);
+  Hash512 k64 = hk.Finish();
+  Scalar k = ScReduce64(k64.data());
+
+  Scalar s = ScMulAdd(k, a, r);
+
+  Signature sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  std::memcpy(sig.data() + 32, s.data(), 32);
+  return sig;
+}
+
+bool Ed25519Verify(const PublicKey& pub, ByteView message,
+                   const Signature& sig) {
+  if (!ScIsCanonical(sig.data() + 32)) return false;
+
+  auto a_point = GeDecode(pub.data());
+  if (!a_point) return false;
+  auto r_point = GeDecode(sig.data());
+  if (!r_point) return false;
+
+  Sha512 hk;
+  hk.Update(ByteView(sig.data(), 32));
+  hk.Update(ByteView(pub.data(), pub.size()));
+  hk.Update(message);
+  Hash512 k64 = hk.Finish();
+  Scalar k = ScReduce64(k64.data());
+
+  Scalar s;
+  std::memcpy(s.data(), sig.data() + 32, 32);
+
+  // Check [S]B == R + [k]A, i.e. [S]B + [k](-A) == R.
+  GePoint sb = GeScalarMul(s, GeBase());
+  GePoint ka = GeScalarMul(k, GeNeg(*a_point));
+  GePoint check = GeAdd(sb, ka);
+  return GeEncode(check) == GeEncode(*r_point);
+}
+
+namespace ed25519_internal {
+bool BasePointHasExpectedOrder() {
+  // [l]B must be the identity; [1]B must not be.
+  const uint8_t l_le[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                            0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+  Scalar l;
+  std::memcpy(l.data(), l_le, 32);
+  GePoint lb = GeScalarMul(l, GeBase());
+  auto enc = GeEncode(lb);
+  auto id = GeEncode(GeIdentity());
+  return enc == id;
+}
+}  // namespace ed25519_internal
+
+}  // namespace porygon::crypto

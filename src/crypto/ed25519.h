@@ -1,0 +1,51 @@
+#ifndef PORYGON_CRYPTO_ED25519_H_
+#define PORYGON_CRYPTO_ED25519_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace porygon::crypto {
+
+/// 32-byte Ed25519 seed (the RFC 8032 private key).
+using PrivateKey = std::array<uint8_t, 32>;
+/// 32-byte compressed public point.
+using PublicKey = std::array<uint8_t, 32>;
+/// 64-byte signature (R || S).
+using Signature = std::array<uint8_t, 64>;
+
+/// A node identity: seed plus derived public key.
+struct KeyPair {
+  PrivateKey private_key;
+  PublicKey public_key;
+};
+
+/// Derives the public key for `seed` per RFC 8032.
+PublicKey Ed25519DerivePublicKey(const PrivateKey& seed);
+
+/// Deterministic keypair from an explicit 32-byte seed.
+KeyPair Ed25519KeyPairFromSeed(const PrivateKey& seed);
+
+/// Keypair with a seed drawn from `rng` (tests/simulations only; not a CSPRNG).
+KeyPair Ed25519GenerateKeyPair(Rng* rng);
+
+/// Signs `message` with the expanded seed (RFC 8032 Ed25519, no context).
+Signature Ed25519Sign(const PrivateKey& seed, ByteView message);
+
+/// Verifies `sig` over `message` under `pub`. Rejects non-canonical S
+/// (malleability) and undecodable points.
+bool Ed25519Verify(const PublicKey& pub, ByteView message,
+                   const Signature& sig);
+
+namespace ed25519_internal {
+/// Exposed for tests: group-level sanity checks without going through
+/// sign/verify (e.g. that the base point has order l).
+bool BasePointHasExpectedOrder();
+}  // namespace ed25519_internal
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_ED25519_H_

@@ -1,0 +1,233 @@
+#include "crypto/fe25519.h"
+
+#include <cstring>
+
+namespace porygon::crypto {
+
+namespace {
+using U128 = unsigned __int128;
+
+constexpr uint64_t kMask51 = (uint64_t{1} << 51) - 1;
+
+// Propagates carries so every limb ends below 2^51 (plus a possibly tiny
+// excess in limb 0 after the wrap, fixed by a second pass).
+void Carry(Fe25519* f) {
+  for (int pass = 0; pass < 2; ++pass) {
+    uint64_t c = 0;
+    for (int i = 0; i < 5; ++i) {
+      f->v[i] += c;
+      c = f->v[i] >> 51;
+      f->v[i] &= kMask51;
+    }
+    f->v[0] += c * 19;
+  }
+}
+}  // namespace
+
+Fe25519 FeZero() { return Fe25519{{0, 0, 0, 0, 0}}; }
+Fe25519 FeOne() { return Fe25519{{1, 0, 0, 0, 0}}; }
+
+Fe25519 FeFromU64(uint64_t x) {
+  Fe25519 f{{x & kMask51, x >> 51, 0, 0, 0}};
+  return f;
+}
+
+Fe25519 FeAdd(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  Carry(&r);
+  return r;
+}
+
+Fe25519 FeSub(const Fe25519& a, const Fe25519& b) {
+  // a + 2p - b keeps limbs non-negative: 2p has limbs (2^52-38, 2^52-2, ...).
+  Fe25519 r;
+  r.v[0] = a.v[0] + ((uint64_t{1} << 52) - 38) - b.v[0];
+  for (int i = 1; i < 5; ++i) {
+    r.v[i] = a.v[i] + ((uint64_t{1} << 52) - 2) - b.v[i];
+  }
+  Carry(&r);
+  return r;
+}
+
+Fe25519 FeNeg(const Fe25519& a) { return FeSub(FeZero(), a); }
+
+Fe25519 FeMul(const Fe25519& a, const Fe25519& b) {
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                 a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                 b4 = b.v[4];
+
+  U128 t0 = (U128)a0 * b0 +
+            (U128)19 * ((U128)a1 * b4 + (U128)a2 * b3 + (U128)a3 * b2 +
+                        (U128)a4 * b1);
+  U128 t1 = (U128)a0 * b1 + (U128)a1 * b0 +
+            (U128)19 * ((U128)a2 * b4 + (U128)a3 * b3 + (U128)a4 * b2);
+  U128 t2 = (U128)a0 * b2 + (U128)a1 * b1 + (U128)a2 * b0 +
+            (U128)19 * ((U128)a3 * b4 + (U128)a4 * b3);
+  U128 t3 = (U128)a0 * b3 + (U128)a1 * b2 + (U128)a2 * b1 + (U128)a3 * b0 +
+            (U128)19 * ((U128)a4 * b4);
+  U128 t4 = (U128)a0 * b4 + (U128)a1 * b3 + (U128)a2 * b2 + (U128)a3 * b1 +
+            (U128)a4 * b0;
+
+  Fe25519 r;
+  uint64_t c;
+  r.v[0] = (uint64_t)t0 & kMask51;
+  c = (uint64_t)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (uint64_t)t1 & kMask51;
+  c = (uint64_t)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (uint64_t)t2 & kMask51;
+  c = (uint64_t)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (uint64_t)t3 & kMask51;
+  c = (uint64_t)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (uint64_t)t4 & kMask51;
+  c = (uint64_t)(t4 >> 51);
+  r.v[0] += c * 19;
+  Carry(&r);
+  return r;
+}
+
+Fe25519 FeSquare(const Fe25519& a) { return FeMul(a, a); }
+
+Fe25519 FePow(const Fe25519& base, const std::array<uint8_t, 32>& exp_le) {
+  Fe25519 result = FeOne();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) result = FeSquare(result);
+      if ((exp_le[byte] >> bit) & 1) {
+        if (started) {
+          result = FeMul(result, base);
+        } else {
+          result = base;
+          started = true;
+        }
+      }
+    }
+  }
+  return started ? result : FeOne();
+}
+
+namespace {
+// Little-endian byte arrays for the exponents we need; all share the pattern
+// "mostly 0xff" so they are built rather than transcribed.
+std::array<uint8_t, 32> ExpPMinus2() {
+  std::array<uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xeb;  // p - 2 = 2^255 - 21.
+  e[31] = 0x7f;
+  return e;
+}
+
+std::array<uint8_t, 32> ExpPMinus5Div8() {
+  // (p - 5) / 8 = 2^252 - 3.
+  std::array<uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return e;
+}
+
+std::array<uint8_t, 32> ExpPMinus1Div4() {
+  // (p - 1) / 4 = 2^253 - 5.
+  std::array<uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xfb;
+  e[31] = 0x1f;
+  return e;
+}
+}  // namespace
+
+Fe25519 FeInvert(const Fe25519& a) { return FePow(a, ExpPMinus2()); }
+
+Fe25519 FePowPMinus5Div8(const Fe25519& a) {
+  return FePow(a, ExpPMinus5Div8());
+}
+
+std::array<uint8_t, 32> FeToBytes(const Fe25519& a) {
+  Fe25519 t = a;
+  Carry(&t);
+  // Pack limbs into a 256-bit integer (4 x u64), then reduce below p with at
+  // most three conditional subtractions.
+  uint64_t w[4];
+  w[0] = t.v[0] | (t.v[1] << 51);
+  w[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  w[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  w[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  // p = 2^255 - 19 as 4 x u64 little-endian words.
+  const uint64_t kP[4] = {0xffffffffffffffedULL, 0xffffffffffffffffULL,
+                          0xffffffffffffffffULL, 0x7fffffffffffffffULL};
+  auto geq_p = [&]() {
+    for (int i = 3; i >= 0; --i) {
+      if (w[i] > kP[i]) return true;
+      if (w[i] < kP[i]) return false;
+    }
+    return true;  // equal
+  };
+  auto sub_p = [&]() {
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 d =
+          (unsigned __int128)w[i] - kP[i] - (uint64_t)borrow;
+      w[i] = (uint64_t)d;
+      borrow = (d >> 64) & 1;
+    }
+  };
+  for (int i = 0; i < 3 && geq_p(); ++i) sub_p();
+
+  std::array<uint8_t, 32> out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = (uint8_t)(w[i] >> (8 * j));
+    }
+  }
+  return out;
+}
+
+Fe25519 FeFromBytes(const uint8_t bytes[32]) {
+  uint64_t w[4];
+  for (int i = 0; i < 4; ++i) {
+    w[i] = 0;
+    for (int j = 7; j >= 0; --j) {
+      w[i] = (w[i] << 8) | bytes[8 * i + j];
+    }
+  }
+  w[3] &= 0x7fffffffffffffffULL;  // Drop the sign bit.
+  Fe25519 f;
+  f.v[0] = w[0] & kMask51;
+  f.v[1] = ((w[0] >> 51) | (w[1] << 13)) & kMask51;
+  f.v[2] = ((w[1] >> 38) | (w[2] << 26)) & kMask51;
+  f.v[3] = ((w[2] >> 25) | (w[3] << 39)) & kMask51;
+  f.v[4] = (w[3] >> 12) & kMask51;
+  return f;
+}
+
+bool FeIsZero(const Fe25519& a) {
+  auto b = FeToBytes(a);
+  uint8_t acc = 0;
+  for (uint8_t x : b) acc |= x;
+  return acc == 0;
+}
+
+bool FeIsNegative(const Fe25519& a) { return FeToBytes(a)[0] & 1; }
+
+bool FeEqual(const Fe25519& a, const Fe25519& b) {
+  return FeToBytes(a) == FeToBytes(b);
+}
+
+const Fe25519& FeSqrtM1() {
+  static const Fe25519 kSqrtM1 = FePow(FeFromU64(2), ExpPMinus1Div4());
+  return kSqrtM1;
+}
+
+const Fe25519& FeEdwardsD() {
+  static const Fe25519 kD =
+      FeMul(FeNeg(FeFromU64(121665)), FeInvert(FeFromU64(121666)));
+  return kD;
+}
+
+}  // namespace porygon::crypto

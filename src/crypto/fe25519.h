@@ -1,0 +1,65 @@
+#ifndef PORYGON_CRYPTO_FE25519_H_
+#define PORYGON_CRYPTO_FE25519_H_
+
+#include <array>
+#include <cstdint>
+
+namespace porygon::crypto {
+
+/// Field element of GF(2^255 - 19), represented as five 51-bit limbs in
+/// little-endian order (value = sum v[i] * 2^(51*i)). Operations keep limbs
+/// below 2^54 so that 128-bit accumulators cannot overflow during
+/// multiplication. This implementation favours auditable simplicity over
+/// constant-time execution: Porygon is a protocol simulator, not a wallet,
+/// so side-channel resistance is explicitly out of scope (documented in
+/// README).
+struct Fe25519 {
+  uint64_t v[5];
+};
+
+/// Additive identity.
+Fe25519 FeZero();
+/// Multiplicative identity.
+Fe25519 FeOne();
+/// Small constant (for 121665/121666 etc.).
+Fe25519 FeFromU64(uint64_t x);
+
+Fe25519 FeAdd(const Fe25519& a, const Fe25519& b);
+Fe25519 FeSub(const Fe25519& a, const Fe25519& b);
+Fe25519 FeNeg(const Fe25519& a);
+Fe25519 FeMul(const Fe25519& a, const Fe25519& b);
+Fe25519 FeSquare(const Fe25519& a);
+
+/// a^(2^255 - 21) — the multiplicative inverse (Fermat). FeInvert(0) == 0.
+Fe25519 FeInvert(const Fe25519& a);
+
+/// Generic square-and-multiply with a 255-bit little-endian exponent.
+Fe25519 FePow(const Fe25519& base, const std::array<uint8_t, 32>& exp_le);
+
+/// a^((p-5)/8) — the core of the square-root computation used by point
+/// decompression.
+Fe25519 FePowPMinus5Div8(const Fe25519& a);
+
+/// Canonical little-endian encoding (fully reduced below p).
+std::array<uint8_t, 32> FeToBytes(const Fe25519& a);
+
+/// Loads 32 little-endian bytes, ignoring the top bit (the Ed25519 sign bit).
+/// Values >= p are accepted and treated mod p.
+Fe25519 FeFromBytes(const uint8_t bytes[32]);
+
+/// True iff the canonical encoding is all zero.
+bool FeIsZero(const Fe25519& a);
+/// Parity of the canonical value (lsb of the encoding) — the Ed25519 "sign".
+bool FeIsNegative(const Fe25519& a);
+/// Canonical equality.
+bool FeEqual(const Fe25519& a, const Fe25519& b);
+
+/// sqrt(-1) mod p, computed once as 2^((p-1)/4).
+const Fe25519& FeSqrtM1();
+
+/// The twisted-Edwards constant d = -121665/121666 mod p.
+const Fe25519& FeEdwardsD();
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_FE25519_H_

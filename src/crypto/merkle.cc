@@ -1,0 +1,65 @@
+#include "crypto/merkle.h"
+
+namespace porygon::crypto {
+
+namespace {
+Hash256 Pair(const Hash256& a, const Hash256& b) {
+  return Sha256::HashPair(ByteView(a.data(), a.size()),
+                          ByteView(b.data(), b.size()));
+}
+}  // namespace
+
+Hash256 ComputeMerkleRoot(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return ZeroHash();
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Pair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(Pair(level.back(), level.back()));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::vector<Hash256> ComputeMerklePath(const std::vector<Hash256>& leaves,
+                                       size_t index) {
+  std::vector<Hash256> path;
+  if (leaves.empty() || index >= leaves.size()) return path;
+  std::vector<Hash256> level = leaves;
+  size_t pos = index;
+  while (level.size() > 1) {
+    size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    if (sibling >= level.size()) sibling = pos;  // Odd self-pairing.
+    path.push_back(level[sibling]);
+
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Pair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(Pair(level.back(), level.back()));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return path;
+}
+
+bool VerifyMerklePath(const Hash256& root, const Hash256& leaf, size_t index,
+                      const std::vector<Hash256>& path) {
+  Hash256 hash = leaf;
+  size_t pos = index;
+  for (const Hash256& sibling : path) {
+    hash = (pos % 2 == 0) ? Pair(hash, sibling) : Pair(sibling, hash);
+    pos /= 2;
+  }
+  return hash == root;
+}
+
+}  // namespace porygon::crypto

@@ -1,0 +1,26 @@
+#ifndef PORYGON_CRYPTO_MERKLE_H_
+#define PORYGON_CRYPTO_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace porygon::crypto {
+
+/// Merkle root over an ordered list of hashes (binary; odd nodes pair with
+/// themselves). Empty list hashes to ZeroHash(). Used for transaction-block
+/// tx roots and for aggregating shard subtree roots into the global state
+/// root.
+Hash256 ComputeMerkleRoot(const std::vector<Hash256>& leaves);
+
+/// Audit path for leaf `index` within `leaves` (bottom-up sibling list).
+std::vector<Hash256> ComputeMerklePath(const std::vector<Hash256>& leaves,
+                                       size_t index);
+
+/// Verifies that `leaf` at `index` is under `root` given `path`.
+bool VerifyMerklePath(const Hash256& root, const Hash256& leaf, size_t index,
+                      const std::vector<Hash256>& path);
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_MERKLE_H_

@@ -1,0 +1,106 @@
+#include "crypto/provider.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace porygon::crypto {
+
+KeyPair Ed25519Provider::GenerateKeyPair(Rng* rng) {
+  return Ed25519GenerateKeyPair(rng);
+}
+
+Signature Ed25519Provider::Sign(const PrivateKey& priv, ByteView message) {
+  return Ed25519Sign(priv, message);
+}
+
+bool Ed25519Provider::Verify(const PublicKey& pub, ByteView message,
+                             const Signature& sig) {
+  return Ed25519Verify(pub, message, sig);
+}
+
+VrfProof Ed25519Provider::Prove(const PrivateKey& priv, ByteView input) {
+  return VrfProve(priv, input);
+}
+
+bool Ed25519Provider::VerifyProof(const PublicKey& pub, ByteView input,
+                                  const VrfProof& proof) {
+  return VrfVerify(pub, input, proof);
+}
+
+size_t FastProvider::KeyHash::operator()(const PublicKey& k) const {
+  uint64_t v;
+  std::memcpy(&v, k.data(), sizeof(v));
+  return static_cast<size_t>(v);
+}
+
+namespace {
+Signature FastTag(const PrivateKey& priv, ByteView message) {
+  Sha256 h;
+  h.Update(ByteView(priv.data(), priv.size()));
+  h.Update(message);
+  Hash256 tag = h.Finish();
+  Signature sig;
+  std::memcpy(sig.data(), tag.data(), 32);
+  // Second half binds the tag again under a tweaked prefix so that the
+  // signature is 64 bytes like Ed25519 (sizes drive the bandwidth model).
+  Sha256 h2;
+  const uint8_t tweak = 0x5a;
+  h2.Update(ByteView(&tweak, 1));
+  h2.Update(ByteView(tag.data(), tag.size()));
+  Hash256 tag2 = h2.Finish();
+  std::memcpy(sig.data() + 32, tag2.data(), 32);
+  return sig;
+}
+}  // namespace
+
+KeyPair FastProvider::GenerateKeyPair(Rng* rng) {
+  PrivateKey seed;
+  Bytes random = rng->NextBytes(seed.size());
+  std::memcpy(seed.data(), random.data(), seed.size());
+  // Public key is a hash of the seed: unique, unlinkable, and 32 bytes.
+  Hash256 pub_hash = Sha256::Hash(ByteView(seed.data(), seed.size()));
+  PublicKey pub;
+  std::memcpy(pub.data(), pub_hash.data(), 32);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_[pub] = seed;
+  }
+  return KeyPair{seed, pub};
+}
+
+Signature FastProvider::Sign(const PrivateKey& priv, ByteView message) {
+  return FastTag(priv, message);
+}
+
+bool FastProvider::Verify(const PublicKey& pub, ByteView message,
+                          const Signature& sig) {
+  PrivateKey priv;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = registry_.find(pub);
+    if (it == registry_.end()) return false;
+    priv = it->second;
+  }
+  return FastTag(priv, message) == sig;
+}
+
+VrfProof FastProvider::Prove(const PrivateKey& priv, ByteView input) {
+  Bytes msg = ToBytes("porygon.vrf.v1");
+  msg.insert(msg.end(), input.begin(), input.end());
+  VrfProof p;
+  p.proof = FastTag(priv, msg);
+  p.output = Sha256::Hash(ByteView(p.proof.data(), p.proof.size()));
+  return p;
+}
+
+bool FastProvider::VerifyProof(const PublicKey& pub, ByteView input,
+                               const VrfProof& proof) {
+  Bytes msg = ToBytes("porygon.vrf.v1");
+  msg.insert(msg.end(), input.begin(), input.end());
+  if (!Verify(pub, msg, proof.proof)) return false;
+  return Sha256::Hash(ByteView(proof.proof.data(), proof.proof.size())) ==
+         proof.output;
+}
+
+}  // namespace porygon::crypto

@@ -1,0 +1,75 @@
+#ifndef PORYGON_CRYPTO_PROVIDER_H_
+#define PORYGON_CRYPTO_PROVIDER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "crypto/vrf.h"
+
+namespace porygon::crypto {
+
+/// Abstract signing/verification backend. The protocol engine is written
+/// against this interface so that:
+///   - prototype-scale runs and all tests use real Ed25519 (`Ed25519Provider`)
+///   - large simulations swap in `FastProvider`, whose tags are SHA-256 MACs
+///     resolved through an in-process key registry. The fast backend keeps
+///     the exact message/signature sizes (64-byte tags) so the network cost
+///     model is unchanged; only CPU cost differs.
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  /// Creates an identity; the provider may record it for verification.
+  virtual KeyPair GenerateKeyPair(Rng* rng) = 0;
+
+  virtual Signature Sign(const PrivateKey& priv, ByteView message) = 0;
+  virtual bool Verify(const PublicKey& pub, ByteView message,
+                      const Signature& sig) = 0;
+
+  /// VRF evaluation/verification consistent with Sign/Verify.
+  virtual VrfProof Prove(const PrivateKey& priv, ByteView input) = 0;
+  virtual bool VerifyProof(const PublicKey& pub, ByteView input,
+                           const VrfProof& proof) = 0;
+};
+
+/// Real Ed25519 + hash-based VRF.
+class Ed25519Provider : public CryptoProvider {
+ public:
+  KeyPair GenerateKeyPair(Rng* rng) override;
+  Signature Sign(const PrivateKey& priv, ByteView message) override;
+  bool Verify(const PublicKey& pub, ByteView message,
+              const Signature& sig) override;
+  VrfProof Prove(const PrivateKey& priv, ByteView input) override;
+  bool VerifyProof(const PublicKey& pub, ByteView input,
+                   const VrfProof& proof) override;
+};
+
+/// Simulation-only backend: tag = SHA-256(priv || message) replicated to 64
+/// bytes; verification looks the private key up from the public key in a
+/// registry. Honest-node simulations never forge, so this preserves protocol
+/// behaviour while cutting CPU cost by ~three orders of magnitude.
+class FastProvider : public CryptoProvider {
+ public:
+  KeyPair GenerateKeyPair(Rng* rng) override;
+  Signature Sign(const PrivateKey& priv, ByteView message) override;
+  bool Verify(const PublicKey& pub, ByteView message,
+              const Signature& sig) override;
+  VrfProof Prove(const PrivateKey& priv, ByteView input) override;
+  bool VerifyProof(const PublicKey& pub, ByteView input,
+                   const VrfProof& proof) override;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const PublicKey& k) const;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<PublicKey, PrivateKey, KeyHash> registry_;
+};
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_PROVIDER_H_

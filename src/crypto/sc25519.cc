@@ -1,0 +1,174 @@
+#include "crypto/sc25519.h"
+
+#include <cstring>
+
+namespace porygon::crypto {
+
+namespace {
+
+// 544-bit accumulator as 17 x u32 limbs, little-endian: enough for the
+// product of two 256-bit scalars plus an addend.
+struct Big {
+  uint32_t w[17];
+};
+
+Big BigZero() {
+  Big b;
+  std::memset(b.w, 0, sizeof(b.w));
+  return b;
+}
+
+Big BigFromBytes(const uint8_t* bytes, size_t n) {
+  Big b = BigZero();
+  for (size_t i = 0; i < n && i < 4 * 17; ++i) {
+    b.w[i / 4] |= uint32_t{bytes[i]} << (8 * (i % 4));
+  }
+  return b;
+}
+
+// l as a Big.
+const Big& GroupOrder() {
+  static const Big kL = [] {
+    // l = 2^252 + 0x14def9dea2f79cd65812631a5cf5d3ed.
+    const uint8_t le[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                            0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+    return BigFromBytes(le, 32);
+  }();
+  return kL;
+}
+
+int BigCompare(const Big& a, const Big& b) {
+  for (int i = 16; i >= 0; --i) {
+    if (a.w[i] > b.w[i]) return 1;
+    if (a.w[i] < b.w[i]) return -1;
+  }
+  return 0;
+}
+
+void BigSub(Big* a, const Big& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 17; ++i) {
+    uint64_t d = uint64_t{a->w[i]} - b.w[i] - borrow;
+    a->w[i] = static_cast<uint32_t>(d);
+    borrow = (d >> 32) & 1;
+  }
+}
+
+// a <<= 1.
+void BigShiftLeft1(Big* a) {
+  uint32_t carry = 0;
+  for (int i = 0; i < 17; ++i) {
+    uint32_t next = a->w[i] >> 31;
+    a->w[i] = (a->w[i] << 1) | carry;
+    carry = next;
+  }
+}
+
+int BigBitLength(const Big& a) {
+  for (int i = 16; i >= 0; --i) {
+    if (a.w[i] != 0) {
+      int bits = 32 * i;
+      uint32_t v = a.w[i];
+      while (v) {
+        ++bits;
+        v >>= 1;
+      }
+      return bits;
+    }
+  }
+  return 0;
+}
+
+bool BigBit(const Big& a, int bit) {
+  return (a.w[bit / 32] >> (bit % 32)) & 1;
+}
+
+// a mod l via binary long division (shift-subtract from the MSB down).
+Big BigModL(const Big& a) {
+  const Big& l = GroupOrder();
+  Big rem = BigZero();
+  for (int bit = BigBitLength(a) - 1; bit >= 0; --bit) {
+    BigShiftLeft1(&rem);
+    if (BigBit(a, bit)) rem.w[0] |= 1;
+    if (BigCompare(rem, l) >= 0) BigSub(&rem, l);
+  }
+  return rem;
+}
+
+Big BigMul(const Big& a, const Big& b) {
+  // Inputs are < 2^256, so only the low 8 limbs of each participate and the
+  // 17-limb result cannot overflow.
+  Big r = BigZero();
+  for (int i = 0; i < 8; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 8; ++j) {
+      uint64_t cur = uint64_t{a.w[i]} * b.w[j] + r.w[i + j] + carry;
+      r.w[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    int k = i + 8;
+    while (carry != 0 && k < 17) {
+      uint64_t cur = uint64_t{r.w[k]} + carry;
+      r.w[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return r;
+}
+
+Big BigAdd(const Big& a, const Big& b) {
+  Big r;
+  uint64_t carry = 0;
+  for (int i = 0; i < 17; ++i) {
+    uint64_t cur = uint64_t{a.w[i]} + b.w[i] + carry;
+    r.w[i] = static_cast<uint32_t>(cur);
+    carry = cur >> 32;
+  }
+  return r;
+}
+
+Scalar BigToScalar(const Big& a) {
+  Scalar s;
+  for (int i = 0; i < 32; ++i) {
+    s[i] = static_cast<uint8_t>(a.w[i / 4] >> (8 * (i % 4)));
+  }
+  return s;
+}
+
+}  // namespace
+
+Scalar ScReduce64(const uint8_t in[64]) {
+  return BigToScalar(BigModL(BigFromBytes(in, 64)));
+}
+
+Scalar ScReduce32(const uint8_t in[32]) {
+  return BigToScalar(BigModL(BigFromBytes(in, 32)));
+}
+
+Scalar ScMulAdd(const Scalar& a, const Scalar& b, const Scalar& c) {
+  Big prod = BigMul(BigFromBytes(a.data(), 32), BigFromBytes(b.data(), 32));
+  Big sum = BigAdd(prod, BigFromBytes(c.data(), 32));
+  return BigToScalar(BigModL(sum));
+}
+
+bool ScIsCanonical(const uint8_t in[32]) {
+  Big v = BigFromBytes(in, 32);
+  return BigCompare(v, GroupOrder()) < 0;
+}
+
+Scalar ScalarOne() {
+  Scalar s{};
+  s[0] = 1;
+  return s;
+}
+
+bool ScIsZero(const Scalar& s) {
+  uint8_t acc = 0;
+  for (uint8_t b : s) acc |= b;
+  return acc == 0;
+}
+
+}  // namespace porygon::crypto

@@ -1,0 +1,40 @@
+#ifndef PORYGON_CRYPTO_SC25519_H_
+#define PORYGON_CRYPTO_SC25519_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace porygon::crypto {
+
+/// Scalar modulo the Ed25519 group order
+/// l = 2^252 + 27742317777372353535851937790883648493, stored as a canonical
+/// 32-byte little-endian value. Arithmetic goes through a small schoolbook
+/// bignum; scalars are tiny and operations per signature are few, so
+/// simplicity wins over speed here.
+using Scalar = std::array<uint8_t, 32>;
+
+/// Reduces a 64-byte little-endian value mod l (RFC 8032 "sc_reduce").
+Scalar ScReduce64(const uint8_t in[64]);
+
+/// Reduces a 32-byte little-endian value mod l.
+Scalar ScReduce32(const uint8_t in[32]);
+
+/// (a * b + c) mod l (RFC 8032 "sc_muladd").
+Scalar ScMulAdd(const Scalar& a, const Scalar& b, const Scalar& c);
+
+/// True iff the 32-byte little-endian value is strictly below l (i.e. it is a
+/// canonical scalar). Verification rejects non-canonical S to rule out
+/// signature malleability.
+bool ScIsCanonical(const uint8_t in[32]);
+
+/// True iff the scalar is zero.
+bool ScIsZero(const Scalar& s);
+
+/// The scalar 1 (convenience: ScMulAdd(ScalarOne(), a, b) computes a+b).
+Scalar ScalarOne();
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_SC25519_H_

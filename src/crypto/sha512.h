@@ -1,0 +1,35 @@
+#ifndef PORYGON_CRYPTO_SHA512_H_
+#define PORYGON_CRYPTO_SHA512_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace porygon::crypto {
+
+using Hash512 = std::array<uint8_t, 64>;
+
+/// Incremental SHA-512 (FIPS 180-4). Needed by Ed25519 (RFC 8032 uses
+/// SHA-512 for key expansion and the challenge hash).
+class Sha512 {
+ public:
+  Sha512();
+
+  void Update(ByteView data);
+  Hash512 Finish();
+
+  static Hash512 Hash(ByteView data);
+
+ private:
+  void Compress(const uint8_t block[128]);
+
+  uint64_t state_[8];
+  uint64_t length_ = 0;  // Total bytes absorbed (< 2^61, ample here).
+  uint8_t buffer_[128];
+  size_t buffered_ = 0;
+};
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_SHA512_H_

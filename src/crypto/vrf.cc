@@ -1,0 +1,45 @@
+#include "crypto/vrf.h"
+
+namespace porygon::crypto {
+
+namespace {
+constexpr std::string_view kDomain = "porygon.vrf.v1";
+
+Bytes DomainSeparate(ByteView input) {
+  Bytes msg(kDomain.begin(), kDomain.end());
+  msg.insert(msg.end(), input.begin(), input.end());
+  return msg;
+}
+}  // namespace
+
+VrfProof VrfProve(const PrivateKey& seed, ByteView input) {
+  Bytes msg = DomainSeparate(input);
+  VrfProof p;
+  p.proof = Ed25519Sign(seed, msg);
+  p.output = Sha256::Hash(ByteView(p.proof.data(), p.proof.size()));
+  return p;
+}
+
+bool VrfVerify(const PublicKey& pub, ByteView input, const VrfProof& proof) {
+  Bytes msg = DomainSeparate(input);
+  if (!Ed25519Verify(pub, msg, proof.proof)) return false;
+  return Sha256::Hash(ByteView(proof.proof.data(), proof.proof.size())) ==
+         proof.output;
+}
+
+double VrfOutputToUnit(const Hash256& output) {
+  // 53 uniform bits into [0, 1).
+  uint64_t v = HashPrefixU64(output) >> 11;
+  return static_cast<double>(v) * 0x1.0p-53;
+}
+
+uint32_t VrfOutputLastBits(const Hash256& output, int n) {
+  if (n <= 0) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= uint32_t{output[output.size() - 1 - i]} << (8 * i);
+  }
+  return v & ((uint32_t{1} << n) - 1);
+}
+
+}  // namespace porygon::crypto

@@ -1,0 +1,41 @@
+#ifndef PORYGON_CRYPTO_VRF_H_
+#define PORYGON_CRYPTO_VRF_H_
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+
+namespace porygon::crypto {
+
+/// Verifiable Random Function built from deterministic Ed25519 signatures,
+/// following Algorand's construction: the proof is Sig_sk(input) and the
+/// output is H(proof). Anyone can recompute the output from the proof and
+/// check it against the public key.
+///
+/// Caveat (documented per the paper's §IV-B3 committee formation): an honest
+/// signer's output is unique and unpredictable, which is all the committee
+/// sortition in Porygon requires; a fully unbiased VRF for adversarial
+/// provers would need ECVRF, which is out of scope for this simulator.
+struct VrfProof {
+  Signature proof;   ///< Ed25519 signature over the domain-separated input.
+  Hash256 output;    ///< SHA-256 of the proof; the sortition value.
+};
+
+/// Evaluates the VRF on `input` (domain-separated).
+VrfProof VrfProve(const PrivateKey& seed, ByteView input);
+
+/// Checks that `proof` is a valid VRF proof for (pub, input) and that
+/// `output` equals H(proof).
+bool VrfVerify(const PublicKey& pub, ByteView input, const VrfProof& proof);
+
+/// Maps a VRF output to a uniform value in [0, 1) for threshold comparisons
+/// (committee selection: "smallest values form the Ordering Committee").
+double VrfOutputToUnit(const Hash256& output);
+
+/// Last `n` bits of the VRF output, used to assign a node to one of 2^n
+/// Execution Sub-Committees (shards), mirroring account sharding.
+uint32_t VrfOutputLastBits(const Hash256& output, int n);
+
+}  // namespace porygon::crypto
+
+#endif  // PORYGON_CRYPTO_VRF_H_

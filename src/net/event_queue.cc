@@ -1,0 +1,43 @@
+#include "net/event_queue.h"
+
+#include <utility>
+
+namespace porygon::net {
+
+void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the closure out requires a copy
+  // here, which is acceptable for simulation workloads.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+size_t EventQueue::RunUntil(SimTime deadline) {
+  size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    RunNext();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+size_t EventQueue::RunUntilIdle(size_t max_events) {
+  size_t executed = 0;
+  while (executed < max_events && RunNext()) ++executed;
+  return executed;
+}
+
+}  // namespace porygon::net

@@ -1,0 +1,84 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace porygon::net {
+
+SimNetwork::SimNetwork(EventQueue* events, Rng rng)
+    : events_(events), rng_(rng) {}
+
+NodeId SimNetwork::AddNode(const LinkSpec& link) {
+  NodeState state;
+  state.link = link;
+  nodes_.push_back(std::move(state));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::SetHandler(NodeId node, Handler handler) {
+  assert(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+void SimNetwork::SetCrashed(NodeId node, bool crashed) {
+  assert(node < nodes_.size());
+  nodes_[node].crashed = crashed;
+}
+
+void SimNetwork::Send(Message msg) {
+  assert(msg.from < nodes_.size() && msg.to < nodes_.size());
+  NodeState& sender = nodes_[msg.from];
+  if (sender.crashed || nodes_[msg.to].crashed ||
+      (drop_filter_ && drop_filter_(msg))) {
+    ++messages_dropped_;
+    return;
+  }
+  // wire_size is authoritative: payloads may carry uncompressed in-memory
+  // structs whose wire encoding (what the bandwidth model charges) is
+  // smaller. Callers that do not set wire_size get the payload size via
+  // their send helpers.
+  if (msg.wire_size == 0) msg.wire_size = msg.payload.size();
+
+  sender.stats.bytes_sent += msg.wire_size;
+  sender.stats.sent_by_kind[msg.kind] += msg.wire_size;
+
+  const SimTime now = events_->now();
+  const double up_bps = std::max(sender.link.uplink_bps, 1.0);
+  const SimTime tx = static_cast<SimTime>(msg.wire_size / up_bps * 1e6);
+  const SimTime depart = std::max(now, sender.uplink_free_at) + tx;
+  sender.uplink_free_at = depart;
+
+  SimTime latency = latency_base_;
+  if (latency_jitter_ > 0) {
+    latency += static_cast<SimTime>(
+        rng_.NextBelow(static_cast<uint64_t>(latency_jitter_) + 1));
+  }
+  const SimTime arrive = depart + latency;
+
+  events_->ScheduleAt(arrive, [this, msg = std::move(msg)]() mutable {
+    NodeState& receiver = nodes_[msg.to];
+    if (receiver.crashed) {
+      ++messages_dropped_;
+      return;
+    }
+    const double down_bps = std::max(receiver.link.downlink_bps, 1.0);
+    const SimTime rx = static_cast<SimTime>(msg.wire_size / down_bps * 1e6);
+    const SimTime deliver =
+        std::max(events_->now(), receiver.downlink_free_at) + rx;
+    receiver.downlink_free_at = deliver;
+
+    events_->ScheduleAt(deliver, [this, msg = std::move(msg)]() {
+      NodeState& receiver = nodes_[msg.to];
+      if (receiver.crashed || !receiver.handler) {
+        ++messages_dropped_;
+        return;
+      }
+      receiver.stats.bytes_received += msg.wire_size;
+      receiver.stats.received_by_kind[msg.kind] += msg.wire_size;
+      ++messages_delivered_;
+      receiver.handler(msg);
+    });
+  });
+}
+
+}  // namespace porygon::net

@@ -1,0 +1,144 @@
+#include "simulation/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace porygon::sim {
+
+namespace {
+/// Cross-shard coordination overheads, fitted against Table I: conflicts
+/// and lock contention discard a small fraction of offered transactions,
+/// and the Multi-Shard Update adds a latency penalty that grows with the
+/// cross-shard ratio.
+constexpr double kDiscardPerRatio = 0.08;
+constexpr double kCrossLatencyPenaltyS = 0.58;
+}  // namespace
+
+ModelResult EstimatePorygon(const ModelConfig& cfg) {
+  ModelResult r;
+  const int shards = cfg.effective_shards();
+  const double blocks = static_cast<double>(cfg.blocks_per_shard_round);
+  const double txs_per_shard = blocks * cfg.txs_per_block;
+
+  // --- Per-phase traffic per participating stateless node ----------------
+  // Witness: download full blocks of the shard, upload one proof each.
+  const double witness_bytes =
+      blocks * (cfg.header_bytes + cfg.txs_per_block * cfg.tx_bytes) +
+      blocks * cfg.witness_proof_bytes;
+  // Ordering (OC member): headers + witness proofs per block, plus access
+  // summaries for cross-shard transactions (pre-recorded states), plus two
+  // BA vote rounds.
+  const double bundle_bytes =
+      shards * blocks *
+          (cfg.header_bytes + cfg.witness_threshold * cfg.witness_proof_bytes +
+           cfg.cross_shard_ratio * cfg.txs_per_block *
+               cfg.access_summary_bytes) +
+      2.0 * cfg.oc_size * cfg.vote_bytes / 64.0;  // Votes fan in via relays.
+  // Execution: download states + proofs for the accounts the shard's batch
+  // touches (~1.5 unique accounts per transaction), plus the update list U,
+  // upload root + S set.
+  const double exec_accounts = txs_per_shard * 1.5;
+  const double exec_bytes =
+      exec_accounts * cfg.state_bytes_per_account +
+      cfg.cross_shard_ratio * txs_per_shard * 2 * cfg.update_entry_bytes +
+      96 + cfg.cross_shard_ratio * txs_per_shard * cfg.update_entry_bytes;
+  // Commit: the proposal block (block-id lists + U + roots).
+  const double commit_bytes =
+      shards * (blocks * 32 + 32) +
+      cfg.cross_shard_ratio * txs_per_shard * cfg.update_entry_bytes;
+
+  const double t_witness = witness_bytes / cfg.node_bps + cfg.latency_s;
+  const double t_order = bundle_bytes / cfg.node_bps + 4 * cfg.latency_s;
+  const double t_exec = exec_bytes / cfg.node_bps + 2 * cfg.latency_s;
+  const double t_commit = commit_bytes / cfg.node_bps + cfg.latency_s;
+
+  // Pipelined: committees work concurrently, so the round is gated by the
+  // slowest phase. 1D (no pipelining): one committee performs all phases
+  // back to back.
+  const double phase_time =
+      cfg.pipelining ? std::max({t_witness, t_order, t_exec, t_commit})
+                     : (t_witness + t_order + t_exec + t_commit);
+  r.round_s = cfg.reconfig_s + cfg.reconfig_jitter_s / 2 + phase_time;
+
+  // --- Throughput ---------------------------------------------------------
+  const double discard = kDiscardPerRatio * std::max(0.0, cfg.cross_shard_ratio);
+  double capacity = shards * txs_per_shard * (1.0 - discard) / r.round_s;
+  if (!cfg.pipelining) {
+    // Sequential phases also serialize batches: only one batch is in
+    // flight, and witnessing the next cannot overlap ordering/execution.
+    capacity = txs_per_shard * (1.0 - discard) / r.round_s * shards;
+  }
+  r.tps = cfg.offered_tps > 0 ? std::min(cfg.offered_tps, capacity)
+                              : capacity;
+
+  // --- Latencies -----------------------------------------------------------
+  // Intra-shard: witness + 3 rounds to commit (§IV-D2); cross-shard: +2.
+  const double intra = 3 * r.round_s;
+  const double cross = 5 * r.round_s + kCrossLatencyPenaltyS;
+  r.block_latency_s = intra + cfg.cross_shard_ratio * kCrossLatencyPenaltyS;
+  r.commit_latency_s =
+      (1 - cfg.cross_shard_ratio) * intra + cfg.cross_shard_ratio * cross;
+  r.user_latency_s = r.commit_latency_s + cfg.backlog_rounds * r.round_s;
+
+  r.phase_bytes = {witness_bytes, bundle_bytes, exec_bytes, commit_bytes};
+  return r;
+}
+
+ModelResult EstimateBlockene(const ModelConfig& cfg) {
+  // One committee does everything sequentially over the whole batch.
+  ModelConfig flat = cfg;
+  flat.pipelining = false;
+  flat.sharding = false;
+  flat.cross_shard_ratio = 0;  // No shards, no cross-shard traffic.
+  ModelResult r = EstimatePorygon(flat);
+  // Blockene's committee additionally re-downloads states during both the
+  // ordering and execution stages (no witness-phase reuse), lengthening the
+  // round. Model that as one extra execution phase.
+  const double exec_extra = r.phase_bytes[2] / cfg.node_bps;
+  r.round_s += exec_extra;
+  const double capacity =
+      flat.blocks_per_shard_round * flat.txs_per_block / r.round_s;
+  r.tps = cfg.offered_tps > 0 ? std::min(cfg.offered_tps, capacity)
+                              : capacity;
+  r.block_latency_s = r.round_s;  // Commit happens within the round.
+  r.commit_latency_s = r.round_s;
+  r.user_latency_s = r.round_s + cfg.backlog_rounds * r.round_s;
+  return r;
+}
+
+ModelResult EstimateByshard(const ModelConfig& cfg) {
+  ModelResult r;
+  const double block_bytes =
+      cfg.header_bytes + cfg.txs_per_block * cfg.tx_bytes;
+  // The dominant cost for "lightweight ByShard" (nodes capped at Porygon's
+  // 1 MB/s): the shard leader replicates the complete block to every member
+  // over its own uplink, which serializes. Members additionally exchange
+  // two vote rounds, and cross-shard transactions add two-phase traffic.
+  const double leader_upload_s =
+      (cfg.nodes_per_shard - 1) * block_bytes / cfg.node_bps;
+  const double per_node_bytes =
+      block_bytes +
+      2.0 * cfg.nodes_per_shard * cfg.vote_bytes / 64.0 +
+      cfg.cross_shard_ratio * cfg.txs_per_block *
+          (cfg.tx_bytes + 2 * cfg.update_entry_bytes);
+  const double t_round = leader_upload_s +
+                         per_node_bytes / cfg.node_bps + 4 * cfg.latency_s;
+  r.round_s = cfg.reconfig_s + t_round;
+
+  const double capacity =
+      cfg.shards * cfg.txs_per_block / r.round_s *
+      (1.0 - 0.05 * cfg.cross_shard_ratio);
+  r.tps = cfg.offered_tps > 0 ? std::min(cfg.offered_tps, capacity)
+                              : capacity;
+  // Intra commits in one consensus round; cross needs the second phase in
+  // the receiver shard's next block.
+  r.block_latency_s = r.round_s;
+  r.commit_latency_s =
+      (1 - cfg.cross_shard_ratio) * r.round_s + cfg.cross_shard_ratio * 2 *
+      r.round_s;
+  r.user_latency_s = r.commit_latency_s + cfg.backlog_rounds * r.round_s;
+  r.phase_bytes = {0, per_node_bytes, 0, 0};
+  return r;
+}
+
+}  // namespace porygon::sim

@@ -1,0 +1,81 @@
+#ifndef PORYGON_SIMULATION_MODEL_H_
+#define PORYGON_SIMULATION_MODEL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace porygon::sim {
+
+/// Large-scale simulation in the spirit of the paper's Python simulations
+/// (§VI): up to 100,000 nodes, "specifically focused on the design of 3D
+/// parallelism, omitting the intricate engineering aspects of distributed
+/// architecture". Committee-level cost model: per-phase times follow from
+/// message sizes, per-node bandwidth (1 MB/s), the fixed 2 s + jitter
+/// committee-formation interval, and the 0.5 ms storage<->stateless
+/// latency — the same inputs the paper fixes.
+struct ModelConfig {
+  // Scale.
+  int num_nodes = 100'000;
+  int shards = 10;
+  int nodes_per_shard = 2'000;
+
+  // Workload shape.
+  size_t txs_per_block = 2'000;
+  size_t blocks_per_shard_round = 1;
+  double cross_shard_ratio = 0.5;
+  /// Offered load (TPS); caps throughput when below capacity. <= 0 means
+  /// saturating load.
+  double offered_tps = -1;
+  /// Mempool backlog expressed in rounds (drives user-perceived latency).
+  double backlog_rounds = 9.0;
+
+  // Resources (paper defaults).
+  double node_bps = 1e6;
+  double latency_s = 0.0005;
+  double reconfig_s = 2.0;
+  double reconfig_jitter_s = 0.1;
+
+  // Message sizes (bytes).
+  double tx_bytes = 112;
+  double header_bytes = 52;
+  double witness_proof_bytes = 96;
+  double access_summary_bytes = 16;   // Compressed cross-tx access entries.
+  double state_bytes_per_account = 145;  // Value + batched multiproof share.
+  double update_entry_bytes = 24;
+  double vote_bytes = 150;
+  int witness_threshold = 10;
+  int oc_size = 2'000;
+
+  // Dimension toggles (ablations, Fig 7c/7d).
+  bool pipelining = true;   // Off: phases run sequentially per round.
+  bool sharding = true;     // Off: a single execution committee.
+
+  int effective_shards() const { return sharding ? shards : 1; }
+};
+
+/// Outputs matching the paper's reported series.
+struct ModelResult {
+  double tps = 0;
+  double round_s = 0;             ///< Proposal-block interval.
+  double block_latency_s = 0;     ///< Reported "latency" (≈ intra commit).
+  double commit_latency_s = 0;    ///< Ratio-weighted tx commit latency.
+  double user_latency_s = 0;      ///< Submission -> confirmation.
+  /// Per stateless node per round, bytes: Witness, Ordering, Execution,
+  /// Commit.
+  std::array<double, 4> phase_bytes{};
+};
+
+/// Porygon under the full 3D design (§IV), honouring the dimension toggles.
+ModelResult EstimatePorygon(const ModelConfig& config);
+
+/// Blockene-style 1D stateless baseline: one committee, sequential phases.
+ModelResult EstimateBlockene(const ModelConfig& config);
+
+/// ByShard-style sharded full-node baseline: per-shard BFT + block
+/// replication; nodes store everything.
+ModelResult EstimateByshard(const ModelConfig& config);
+
+}  // namespace porygon::sim
+
+#endif  // PORYGON_SIMULATION_MODEL_H_

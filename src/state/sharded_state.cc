@@ -1,0 +1,99 @@
+#include "state/sharded_state.h"
+
+namespace porygon::state {
+
+using crypto::Hash256;
+using crypto::Sha256;
+
+ShardedState::ShardedState(int shard_bits)
+    : shard_bits_(shard_bits), shards_(size_t{1} << shard_bits) {}
+
+void ShardedState::PutAccount(AccountId id, const Account& account) {
+  shards_[ShardOf(id)].Put(id, EncodeAccount(account));
+}
+
+void ShardedState::PutAccountBatch(
+    uint32_t shard, const std::vector<std::pair<AccountId, Account>>& ws) {
+  std::vector<std::pair<uint64_t, Bytes>> writes;
+  writes.reserve(ws.size());
+  for (const auto& [id, account] : ws) {
+    if (ShardOf(id) != shard) continue;
+    writes.emplace_back(id, EncodeAccount(account));
+  }
+  shards_[shard].PutBatch(writes);
+}
+
+void ShardedState::DeleteAccount(AccountId id) {
+  shards_[ShardOf(id)].Delete(id);
+}
+
+Result<Account> ShardedState::GetAccount(AccountId id) const {
+  PORYGON_ASSIGN_OR_RETURN(Bytes raw, shards_[ShardOf(id)].Get(id));
+  return DecodeAccount(raw);
+}
+
+Account ShardedState::GetOrDefault(AccountId id) const {
+  auto r = GetAccount(id);
+  return r.ok() ? *r : Account{};
+}
+
+Hash256 ShardedState::ShardRoot(uint32_t shard) const {
+  return shards_[shard].Root();
+}
+
+Hash256 ShardedState::GlobalRoot() const {
+  std::vector<Hash256> roots;
+  roots.reserve(shards_.size());
+  for (const auto& shard : shards_) roots.push_back(shard.Root());
+  return AggregateRoots(roots);
+}
+
+Hash256 ShardedState::AggregateRoots(const std::vector<Hash256>& shard_roots) {
+  if (shard_roots.empty()) return crypto::ZeroHash();
+  std::vector<Hash256> level = shard_roots;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Sha256::HashPair(
+          ByteView(level[i].data(), level[i].size()),
+          ByteView(level[i + 1].data(), level[i + 1].size())));
+    }
+    if (level.size() % 2 == 1) {
+      // Odd node promotes by pairing with itself.
+      const Hash256& last = level.back();
+      next.push_back(Sha256::HashPair(ByteView(last.data(), last.size()),
+                                      ByteView(last.data(), last.size())));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof ShardedState::ProveAccount(AccountId id) const {
+  return shards_[ShardOf(id)].Prove(id);
+}
+
+bool ShardedState::VerifyAccount(const Hash256& shard_root, AccountId id,
+                                 const Account& account,
+                                 const MerkleProof& proof) {
+  return SparseMerkleTree::Verify(shard_root, id, EncodeAccount(account),
+                                  proof);
+}
+
+bool ShardedState::VerifyAbsence(const Hash256& shard_root, AccountId id,
+                                 const MerkleProof& proof) {
+  return SparseMerkleTree::Verify(shard_root, id, ByteView(), proof);
+}
+
+size_t ShardedState::ShardAccountCount(uint32_t shard) const {
+  return shards_[shard].LeafCount();
+}
+
+size_t ShardedState::TotalAccountCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.LeafCount();
+  return total;
+}
+
+}  // namespace porygon::state

@@ -1,0 +1,72 @@
+#include "state/view.h"
+
+namespace porygon::state {
+
+PartialState::PartialState(int shard_bits, uint32_t own_shard,
+                           const crypto::Hash256& own_root)
+    : shard_bits_(shard_bits), own_shard_(own_shard), own_root_(own_root) {}
+
+Status PartialState::AddOwnAccount(AccountId id, bool present,
+                                   const Account& value,
+                                   const MerkleProof& proof) {
+  if (ShardOf(id) != own_shard_) {
+    return Status::InvalidArgument("account not in own shard");
+  }
+  Bytes encoded = present ? EncodeAccount(value) : Bytes();
+  PORYGON_RETURN_IF_ERROR(
+      partial_.InjectProof(id, encoded, proof, own_root_));
+  any_injected_ = true;
+  return Status::Ok();
+}
+
+Status PartialState::AddForeignAccount(AccountId id, bool present,
+                                       const Account& value,
+                                       const MerkleProof& proof,
+                                       const crypto::Hash256& foreign_root) {
+  Bytes encoded = present ? EncodeAccount(value) : Bytes();
+  if (!SparseMerkleTree::Verify(foreign_root, id, encoded, proof)) {
+    return Status::PermissionDenied("foreign proof does not match root");
+  }
+  if (present) foreign_[id] = value;
+  return Status::Ok();
+}
+
+uint32_t PartialState::ShardOf(AccountId id) const {
+  return ShardOfAccount(id, shard_bits_);
+}
+
+Account PartialState::GetOrDefault(AccountId id) const {
+  if (ShardOf(id) == own_shard_) {
+    auto ov = own_overlay_.find(id);
+    if (ov != own_overlay_.end()) return ov->second;
+    auto raw = partial_.Get(id);
+    if (!raw.ok()) return Account{};
+    auto decoded = DecodeAccount(*raw);
+    return decoded.ok() ? *decoded : Account{};
+  }
+  auto it = foreign_.find(id);
+  return it != foreign_.end() ? it->second : Account{};
+}
+
+void PartialState::PutAccountBatch(
+    uint32_t shard, const std::vector<std::pair<AccountId, Account>>& ws) {
+  if (shard != own_shard_) return;  // Stateless: never writes foreign shards.
+  std::vector<std::pair<uint64_t, Bytes>> writes;
+  writes.reserve(ws.size());
+  for (const auto& [id, account] : ws) {
+    if (ShardOf(id) != own_shard_) continue;
+    writes.emplace_back(id, EncodeAccount(account));
+    own_overlay_[id] = account;
+  }
+  partial_.PutBatch(writes);
+}
+
+crypto::Hash256 PartialState::ShardRoot(uint32_t shard) const {
+  if (shard != own_shard_) return crypto::ZeroHash();
+  // Before any proof is injected the partial tree is empty, which only
+  // matches the global empty root; report the declared root instead.
+  if (!any_injected_) return own_root_;
+  return partial_.Root();
+}
+
+}  // namespace porygon::state

@@ -1,0 +1,71 @@
+#ifndef PORYGON_STATE_VIEW_H_
+#define PORYGON_STATE_VIEW_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "state/account.h"
+#include "state/smt.h"
+
+namespace porygon::state {
+
+/// What the shard executor needs from "state": reads, batched writes into
+/// one shard, and that shard's Merkle root. Two implementations:
+///   - `ShardedState` — the full materialized state (storage nodes, tests)
+///   - `PartialState` — a stateless node's view reconstructed from Merkle
+///     proofs downloaded during the Execution Phase.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  virtual uint32_t ShardOf(AccountId id) const = 0;
+  virtual Account GetOrDefault(AccountId id) const = 0;
+  virtual void PutAccountBatch(
+      uint32_t shard, const std::vector<std::pair<AccountId, Account>>& ws) = 0;
+  virtual crypto::Hash256 ShardRoot(uint32_t shard) const = 0;
+};
+
+/// A stateless ESC member's materialized view for one Execution Phase:
+/// a partial subtree of its own shard (built from verified proofs) plus
+/// read-only foreign-account values (verified against the other shards'
+/// roots). Writes only touch the own-shard partial subtree; the recomputed
+/// root is exactly what a full replica would produce.
+class PartialState : public StateView {
+ public:
+  /// `shard_bits` and `own_shard` fix the address space; `own_root` is the
+  /// subtree root from the committed proposal block that proofs must match.
+  PartialState(int shard_bits, uint32_t own_shard,
+               const crypto::Hash256& own_root);
+
+  /// Adds an own-shard account (present or absent) with its proof.
+  /// Fails (PermissionDenied) if the proof does not verify — the member
+  /// must re-download from another storage node (Lemma 1 redundancy).
+  Status AddOwnAccount(AccountId id, bool present, const Account& value,
+                       const MerkleProof& proof);
+
+  /// Adds a foreign account value verified against that shard's root.
+  Status AddForeignAccount(AccountId id, bool present, const Account& value,
+                           const MerkleProof& proof,
+                           const crypto::Hash256& foreign_root);
+
+  // StateView:
+  uint32_t ShardOf(AccountId id) const override;
+  Account GetOrDefault(AccountId id) const override;
+  void PutAccountBatch(
+      uint32_t shard,
+      const std::vector<std::pair<AccountId, Account>>& ws) override;
+  crypto::Hash256 ShardRoot(uint32_t shard) const override;
+
+ private:
+  int shard_bits_;
+  uint32_t own_shard_;
+  crypto::Hash256 own_root_;
+  SparseMerkleTree partial_;
+  bool any_injected_ = false;
+  std::unordered_map<AccountId, Account> foreign_;
+  std::unordered_map<AccountId, Account> own_overlay_;  // Post-write values.
+};
+
+}  // namespace porygon::state
+
+#endif  // PORYGON_STATE_VIEW_H_

@@ -1,0 +1,29 @@
+#include "storage/arena.h"
+
+namespace porygon::storage {
+
+char* Arena::Allocate(size_t bytes) {
+  // Keep allocations 8-byte aligned.
+  bytes = (bytes + 7) & ~size_t{7};
+  if (bytes > alloc_remaining_) {
+    if (bytes > kBlockSize / 4) {
+      // Large allocation gets its own block, preserving the current one.
+      return AllocateNewBlock(bytes);
+    }
+    char* block = AllocateNewBlock(kBlockSize);
+    alloc_ptr_ = block;
+    alloc_remaining_ = kBlockSize;
+  }
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t bytes) {
+  blocks_.emplace_back(new char[bytes]);
+  memory_usage_ += bytes + sizeof(char*);
+  return blocks_.back().get();
+}
+
+}  // namespace porygon::storage

@@ -1,0 +1,39 @@
+#ifndef PORYGON_STORAGE_ARENA_H_
+#define PORYGON_STORAGE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace porygon::storage {
+
+/// Bump allocator backing the memtable skiplist. Nodes and keys live until
+/// the memtable is flushed and destroyed, so individual frees are never
+/// needed and allocation is a pointer increment.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized memory (8-byte aligned).
+  char* Allocate(size_t bytes);
+
+  /// Total memory footprint, used for flush triggering.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 64 * 1024;
+
+  char* AllocateNewBlock(size_t bytes);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_remaining_ = 0;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace porygon::storage
+
+#endif  // PORYGON_STORAGE_ARENA_H_

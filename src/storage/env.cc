@@ -1,0 +1,277 @@
+#include "storage/env.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+namespace porygon::storage {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// POSIX Env
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(std::FILE* f) : f_(f) {}
+  ~PosixWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Append(ByteView data) override {
+    if (f_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::Internal("short write");
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (f_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(f_) != 0) return Status::Internal("fflush failed");
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return Status::Ok();
+    int rc = std::fclose(f_);
+    f_ = nullptr;
+    return rc == 0 ? Status::Ok() : Status::Internal("fclose failed");
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit PosixRandomAccessFile(std::string path) : path_(std::move(path)) {}
+
+  Status Read(uint64_t offset, size_t n, Bytes* out) const override {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("open failed: " + path_);
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      std::fclose(f);
+      return Status::Internal("seek failed");
+    }
+    out->resize(n);
+    size_t got = std::fread(out->data(), 1, n, f);
+    std::fclose(f);
+    out->resize(got);
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() const override {
+    std::error_code ec;
+    auto size = fs::file_size(path_, ec);
+    if (ec) return Status::NotFound("stat failed: " + path_);
+    return static_cast<uint64_t>(size);
+  }
+
+ private:
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::Internal("open for write failed: " + path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(f));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    if (!fs::exists(path)) return Status::NotFound("no such file: " + path);
+    return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(path));
+  }
+
+  Result<Bytes> ReadFile(const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("open failed: " + path);
+    Bytes out;
+    uint8_t buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.insert(out.end(), buf, buf + got);
+    }
+    std::fclose(f);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override { return fs::exists(path); }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return ec ? Status::Internal("remove failed: " + path) : Status::Ok();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    return ec ? Status::Internal("rename failed") : Status::Ok();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return ec ? Status::Internal("mkdir failed: " + path) : Status::Ok();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) return Status::NotFound("listdir failed: " + dir);
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // Never destroyed (trivial state).
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory Env
+// ---------------------------------------------------------------------------
+
+struct MemEnv::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::shared_ptr<Bytes>> files;
+  std::set<std::string> dirs;
+};
+
+namespace {
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<Bytes> target)
+      : target_(std::move(target)) {}
+
+  Status Append(ByteView data) override {
+    target_->insert(target_->end(), data.begin(), data.end());
+    return Status::Ok();
+  }
+  Status Sync() override { return Status::Ok(); }
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  std::shared_ptr<Bytes> target_;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<Bytes> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, Bytes* out) const override {
+    if (offset >= data_->size()) {
+      out->clear();
+      return Status::Ok();
+    }
+    size_t avail = data_->size() - offset;
+    size_t take = std::min(n, avail);
+    out->assign(data_->begin() + offset, data_->begin() + offset + take);
+    return Status::Ok();
+  }
+
+  Result<uint64_t> Size() const override {
+    return static_cast<uint64_t>(data_->size());
+  }
+
+ private:
+  std::shared_ptr<Bytes> data_;
+};
+
+// Directory prefix of a path ('' if none).
+std::string DirOf(const std::string& path) {
+  auto pos = path.rfind('/');
+  return pos == std::string::npos ? std::string() : path.substr(0, pos);
+}
+
+}  // namespace
+
+MemEnv::MemEnv() : impl_(new Impl()) {}
+MemEnv::~MemEnv() = default;
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto data = std::make_shared<Bytes>();
+  impl_->files[path] = data;
+  return std::unique_ptr<WritableFile>(new MemWritableFile(std::move(data)));
+}
+
+Result<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) return Status::NotFound("no such file: " + path);
+  return std::unique_ptr<RandomAccessFile>(new MemRandomAccessFile(it->second));
+}
+
+Result<Bytes> MemEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) return Status::NotFound("no such file: " + path);
+  return *it->second;
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->files.count(path) > 0;
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->files.erase(path);
+  return Status::Ok();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) return Status::NotFound("no such file: " + from);
+  impl_->files[to] = it->second;
+  impl_->files.erase(it);
+  return Status::Ok();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->dirs.insert(path);
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> names;
+  for (const auto& [path, data] : impl_->files) {
+    if (DirOf(path) == dir) {
+      names.push_back(path.substr(dir.empty() ? 0 : dir.size() + 1));
+    }
+  }
+  return names;
+}
+
+uint64_t MemEnv::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  uint64_t total = 0;
+  for (const auto& [path, data] : impl_->files) total += data->size();
+  return total;
+}
+
+}  // namespace porygon::storage

@@ -1,0 +1,161 @@
+#include "storage/memtable.h"
+
+#include <cstring>
+
+namespace porygon::storage {
+
+// Skiplist node. Key/value bytes live in the arena right after the node.
+// Ordering: user key ascending, then sequence number *descending* so the
+// newest version of a key is encountered first.
+struct MemTable::SkipNode {
+  const uint8_t* key_data;
+  uint32_t key_size;
+  const uint8_t* value_data;
+  uint32_t value_size;
+  uint64_t sequence;
+  ValueType type;
+  int height;
+  SkipNode* next[1];  // Over-allocated to `height`.
+
+  ByteView key() const { return ByteView(key_data, key_size); }
+  ByteView value() const { return ByteView(value_data, value_size); }
+};
+
+MemTable::MemTable() : rng_(0x5EED5EED) {
+  size_t node_bytes =
+      sizeof(SkipNode) + (kMaxHeight - 1) * sizeof(SkipNode*);
+  head_ = reinterpret_cast<SkipNode*>(arena_.Allocate(node_bytes));
+  head_->key_data = nullptr;
+  head_->key_size = 0;
+  head_->value_data = nullptr;
+  head_->value_size = 0;
+  head_->sequence = 0;
+  head_->type = ValueType::kValue;
+  head_->height = kMaxHeight;
+  for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+}
+
+MemTable::~MemTable() = default;
+
+int MemTable::RandomHeight() {
+  // Geometric distribution with p = 1/4.
+  int height = 1;
+  while (height < kMaxHeight && (rng_.NextU64() & 3) == 0) ++height;
+  return height;
+}
+
+int MemTable::CompareInternal(ByteView key_a, uint64_t seq_a, ByteView key_b,
+                              uint64_t seq_b) {
+  int c = key_a.Compare(key_b);
+  if (c != 0) return c;
+  // Same user key: higher sequence sorts first.
+  if (seq_a > seq_b) return -1;
+  if (seq_a < seq_b) return 1;
+  return 0;
+}
+
+MemTable::SkipNode* MemTable::FindGreaterOrEqual(ByteView key,
+                                                 uint64_t sequence,
+                                                 SkipNode** prev) const {
+  SkipNode* x = head_;
+  int level = max_height_ - 1;
+  while (true) {
+    SkipNode* next = x->next[level];
+    bool advance =
+        next != nullptr &&
+        CompareInternal(next->key(), next->sequence, key, sequence) < 0;
+    if (advance) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void MemTable::Add(uint64_t sequence, ValueType type, ByteView key,
+                   ByteView value) {
+  int height = RandomHeight();
+  size_t node_bytes = sizeof(SkipNode) + (height - 1) * sizeof(SkipNode*);
+  SkipNode* node = reinterpret_cast<SkipNode*>(arena_.Allocate(node_bytes));
+
+  char* key_mem = arena_.Allocate(key.size() > 0 ? key.size() : 1);
+  if (!key.empty()) std::memcpy(key_mem, key.data(), key.size());
+  char* value_mem = arena_.Allocate(value.size() > 0 ? value.size() : 1);
+  if (!value.empty()) std::memcpy(value_mem, value.data(), value.size());
+
+  node->key_data = reinterpret_cast<const uint8_t*>(key_mem);
+  node->key_size = static_cast<uint32_t>(key.size());
+  node->value_data = reinterpret_cast<const uint8_t*>(value_mem);
+  node->value_size = static_cast<uint32_t>(value.size());
+  node->sequence = sequence;
+  node->type = type;
+  node->height = height;
+
+  SkipNode* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_;
+  FindGreaterOrEqual(key, sequence, prev);
+
+  if (height > max_height_) max_height_ = height;
+
+  for (int i = 0; i < height; ++i) {
+    node->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = node;
+  }
+  ++entries_;
+}
+
+Result<Bytes> MemTable::Get(ByteView key, bool* found_tombstone) const {
+  *found_tombstone = false;
+  // Seek with the maximum sequence so we land on the newest version.
+  SkipNode* node =
+      FindGreaterOrEqual(key, ~uint64_t{0}, nullptr);
+  if (node == nullptr || !(node->key() == key)) {
+    return Status::NotFound("key absent from memtable");
+  }
+  if (node->type == ValueType::kDeletion) {
+    *found_tombstone = true;
+    return Status::NotFound("tombstone");
+  }
+  return node->value().ToBytes();
+}
+
+size_t MemTable::ApproximateMemoryUsage() const {
+  return arena_.MemoryUsage();
+}
+
+MemTable::Iterator::Iterator(const MemTable* table)
+    : node_(nullptr), table_(table) {}
+
+bool MemTable::Iterator::Valid() const { return node_ != nullptr; }
+
+void MemTable::Iterator::SeekToFirst() {
+  node_ = table_->head_->next[0];
+}
+
+void MemTable::Iterator::Seek(ByteView key) {
+  node_ = table_->FindGreaterOrEqual(key, ~uint64_t{0}, nullptr);
+}
+
+void MemTable::Iterator::Next() {
+  node_ = static_cast<const SkipNode*>(node_)->next[0];
+}
+
+ByteView MemTable::Iterator::key() const {
+  return static_cast<const SkipNode*>(node_)->key();
+}
+
+ByteView MemTable::Iterator::value() const {
+  return static_cast<const SkipNode*>(node_)->value();
+}
+
+uint64_t MemTable::Iterator::sequence() const {
+  return static_cast<const SkipNode*>(node_)->sequence;
+}
+
+ValueType MemTable::Iterator::type() const {
+  return static_cast<const SkipNode*>(node_)->type;
+}
+
+}  // namespace porygon::storage

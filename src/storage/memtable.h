@@ -1,0 +1,94 @@
+#ifndef PORYGON_STORAGE_MEMTABLE_H_
+#define PORYGON_STORAGE_MEMTABLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/arena.h"
+
+namespace porygon::storage {
+
+/// Entry type tag stored with every version of a key.
+enum class ValueType : uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+/// In-memory write buffer: a skiplist over internal keys
+/// (user_key ascending, sequence number descending), arena-allocated.
+/// Each mutation appends a new version; Get returns the version with the
+/// highest sequence number, honouring tombstones.
+class MemTable {
+ public:
+  MemTable();
+  ~MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts a (key, value) version tagged with `sequence`.
+  void Add(uint64_t sequence, ValueType type, ByteView key, ByteView value);
+
+  /// Looks up the newest version of `key`. Returns:
+  ///   - OK with the value if a live version exists,
+  ///   - NotFound (via `found_tombstone=true`) if the newest version is a
+  ///     deletion,
+  ///   - NotFound with `found_tombstone=false` if the key is absent entirely
+  ///     (caller should consult older tables).
+  Result<Bytes> Get(ByteView key, bool* found_tombstone) const;
+
+  /// Approximate memory footprint for flush triggering.
+  size_t ApproximateMemoryUsage() const;
+
+  /// Number of entries (versions, not distinct keys).
+  size_t EntryCount() const { return entries_; }
+
+  /// Ordered forward iteration over all versions (for flush and merge).
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* table);
+    bool Valid() const;
+    void SeekToFirst();
+    /// Positions at the first internal key with user key >= `key`.
+    void Seek(ByteView key);
+    void Next();
+    ByteView key() const;        ///< User key.
+    ByteView value() const;      ///< Value bytes (empty for deletions).
+    uint64_t sequence() const;
+    ValueType type() const;
+
+   private:
+    friend class MemTable;
+    const void* node_;           // SkipNode*
+    const MemTable* table_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  friend class Iterator;
+  struct SkipNode;
+
+  static constexpr int kMaxHeight = 12;
+
+  int RandomHeight();
+  // Finds the first node >= the given internal key, filling prev[] when
+  // requested (insert path).
+  SkipNode* FindGreaterOrEqual(ByteView key, uint64_t sequence,
+                               SkipNode** prev) const;
+  static int CompareInternal(ByteView key_a, uint64_t seq_a, ByteView key_b,
+                             uint64_t seq_b);
+
+  Arena arena_;
+  SkipNode* head_;
+  int max_height_ = 1;
+  size_t entries_ = 0;
+  Rng rng_;
+};
+
+}  // namespace porygon::storage
+
+#endif  // PORYGON_STORAGE_MEMTABLE_H_

@@ -1,0 +1,115 @@
+#include "storage/wal.h"
+
+#include "common/codec.h"
+#include "common/crc32.h"
+
+namespace porygon::storage {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path) {
+  PORYGON_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::AddRecord(uint64_t sequence, ValueType type, ByteView key,
+                            ByteView value) {
+  Encoder payload;
+  payload.PutU64(sequence);
+  payload.PutU8(static_cast<uint8_t>(type));
+  payload.PutBytes(key);
+  payload.PutBytes(value);
+
+  Encoder frame;
+  frame.PutU32(Crc32cMask(Crc32c(payload.buffer())));
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed(payload.buffer());
+  return file_->Append(frame.buffer());
+}
+
+Status WalWriter::AddBatchRecord(uint64_t first_sequence,
+                                 const std::vector<Op>& ops) {
+  Encoder payload;
+  payload.PutU64(first_sequence);
+  payload.PutU8(2);  // Batch marker.
+  payload.PutVarint(ops.size());
+  for (const Op& op : ops) {
+    payload.PutU8(static_cast<uint8_t>(op.type));
+    payload.PutBytes(op.key);
+    payload.PutBytes(op.value);
+  }
+
+  Encoder frame;
+  frame.PutU32(Crc32cMask(Crc32c(payload.buffer())));
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed(payload.buffer());
+  return file_->Append(frame.buffer());
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Result<uint64_t> WalReplay(Env* env, const std::string& path,
+                           const std::function<void(const WalRecord&)>& fn) {
+  if (!env->FileExists(path)) return uint64_t{0};
+  PORYGON_ASSIGN_OR_RETURN(Bytes data, env->ReadFile(path));
+
+  uint64_t max_sequence = 0;
+  size_t off = 0;
+  while (off + 8 <= data.size()) {
+    uint32_t crc = LoadLittleEndian32(data.data() + off);
+    uint32_t len = LoadLittleEndian32(data.data() + off + 4);
+    if (off + 8 + len > data.size()) break;  // Torn tail record.
+    ByteView payload(data.data() + off + 8, len);
+    if (Crc32cMask(Crc32c(payload)) != crc) break;  // Corrupt: stop replay.
+
+    Decoder dec(payload);
+    auto seq = dec.GetU64();
+    auto type = dec.GetU8();
+    if (!seq.ok() || !type.ok() || *type > 2) break;
+
+    if (*type == 2) {
+      // Atomic batch: parse every sub-op before emitting any of them.
+      auto count = dec.GetVarint();
+      if (!count.ok()) break;
+      std::vector<WalRecord> batch;
+      bool bad = false;
+      uint64_t next_seq = *seq;
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto op_type = dec.GetU8();
+        auto key = dec.GetBytes();
+        auto value = dec.GetBytes();
+        if (!op_type.ok() || !key.ok() || !value.ok() || *op_type > 1) {
+          bad = true;
+          break;
+        }
+        WalRecord rec;
+        rec.sequence = next_seq++;
+        rec.type = static_cast<ValueType>(*op_type);
+        rec.key = std::move(*key);
+        rec.value = std::move(*value);
+        batch.push_back(std::move(rec));
+      }
+      if (bad) break;
+      for (const WalRecord& rec : batch) {
+        max_sequence = std::max(max_sequence, rec.sequence);
+        fn(rec);
+      }
+      off += 8 + len;
+      continue;
+    }
+
+    WalRecord rec;
+    auto key = dec.GetBytes();
+    auto value = dec.GetBytes();
+    if (!key.ok() || !value.ok()) break;
+    rec.sequence = *seq;
+    rec.type = static_cast<ValueType>(*type);
+    rec.key = std::move(*key);
+    rec.value = std::move(*value);
+    max_sequence = std::max(max_sequence, rec.sequence);
+    fn(rec);
+    off += 8 + len;
+  }
+  return max_sequence;
+}
+
+}  // namespace porygon::storage

@@ -1,0 +1,56 @@
+#include "tx/transaction.h"
+
+#include <cstring>
+
+namespace porygon::tx {
+
+namespace {
+Bytes EncodeBody(const Transaction& t) {
+  Encoder enc;
+  enc.PutU64(t.from);
+  enc.PutU64(t.to);
+  enc.PutU64(t.amount);
+  enc.PutU64(t.nonce);
+  enc.PutU64(t.submitted_at);
+  return enc.TakeBuffer();
+}
+}  // namespace
+
+TxId Transaction::Id() const {
+  return crypto::Sha256::Hash(EncodeBody(*this));
+}
+
+Bytes Transaction::Encode() const {
+  Bytes out = EncodeBody(*this);
+  out.insert(out.end(), signature.begin(), signature.end());
+  return out;
+}
+
+Result<Transaction> Transaction::Decode(ByteView data) {
+  Decoder dec(data);
+  PORYGON_ASSIGN_OR_RETURN(Transaction t, [&]() -> Result<Transaction> {
+    return DecodeFrom(&dec);
+  }());
+  if (!dec.Done()) return Status::Corruption("trailing bytes after tx");
+  return t;
+}
+
+Result<Transaction> Transaction::DecodeFrom(Decoder* dec) {
+  Transaction t;
+  PORYGON_ASSIGN_OR_RETURN(t.from, dec->GetU64());
+  PORYGON_ASSIGN_OR_RETURN(t.to, dec->GetU64());
+  PORYGON_ASSIGN_OR_RETURN(t.amount, dec->GetU64());
+  PORYGON_ASSIGN_OR_RETURN(t.nonce, dec->GetU64());
+  PORYGON_ASSIGN_OR_RETURN(t.submitted_at, dec->GetU64());
+  PORYGON_ASSIGN_OR_RETURN(Bytes sig, dec->GetFixed(t.signature.size()));
+  std::memcpy(t.signature.data(), sig.data(), t.signature.size());
+  return t;
+}
+
+bool Transaction::operator==(const Transaction& other) const {
+  return from == other.from && to == other.to && amount == other.amount &&
+         nonce == other.nonce && submitted_at == other.submitted_at &&
+         signature == other.signature;
+}
+
+}  // namespace porygon::tx

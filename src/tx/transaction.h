@@ -1,0 +1,57 @@
+#ifndef PORYGON_TX_TRANSACTION_H_
+#define PORYGON_TX_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/status.h"
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+#include "state/account.h"
+
+namespace porygon::tx {
+
+using TxId = crypto::Hash256;
+
+/// A value transfer in the account model. The paper's transactions are
+/// ~112 bytes on the wire; our encoding matches that budget (5 x u64 body +
+/// 64-byte signature + framing).
+struct Transaction {
+  state::AccountId from = 0;
+  state::AccountId to = 0;
+  uint64_t amount = 0;
+  /// Sender nonce; execution rejects replays/duplicates (§IV-C1(c)).
+  uint64_t nonce = 0;
+  /// Client submission time (µs, virtual) — drives user-perceived latency.
+  uint64_t submitted_at = 0;
+  crypto::Signature signature{};
+
+  /// Hash of the body (everything but the signature).
+  TxId Id() const;
+
+  /// Declared read/write set, the paper's "accessed states ... pre-recorded
+  /// using software tools": a transfer touches exactly {from, to}.
+  std::vector<state::AccountId> AccessedAccounts() const { return {from, to}; }
+
+  /// Cross-shard iff the two accounts map to different shards.
+  bool IsCrossShard(int shard_bits) const {
+    return state::ShardOfAccount(from, shard_bits) !=
+           state::ShardOfAccount(to, shard_bits);
+  }
+
+  /// Wire footprint charged by the bandwidth model.
+  static constexpr size_t kWireSize = 112;
+
+  Bytes Encode() const;
+  static Result<Transaction> Decode(ByteView data);
+  /// Decodes from a Decoder positioned at a transaction (for block bodies).
+  static Result<Transaction> DecodeFrom(Decoder* dec);
+
+  bool operator==(const Transaction& other) const;
+};
+
+}  // namespace porygon::tx
+
+#endif  // PORYGON_TX_TRANSACTION_H_

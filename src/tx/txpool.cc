@@ -1,0 +1,45 @@
+#include "tx/txpool.h"
+
+#include <cstring>
+
+namespace porygon::tx {
+
+size_t TxPool::IdHash::operator()(const TxId& id) const {
+  size_t v;
+  std::memcpy(&v, id.data(), sizeof(v));
+  return v;
+}
+
+TxPool::TxPool(int shard_bits)
+    : shard_bits_(shard_bits), queues_(size_t{1} << shard_bits) {}
+
+bool TxPool::Add(const Transaction& transaction) {
+  TxId id = transaction.Id();
+  if (!seen_.insert(id).second) return false;
+  uint32_t shard = state::ShardOfAccount(transaction.from, shard_bits_);
+  queues_[shard].push_back(transaction);
+  return true;
+}
+
+TransactionBlock TxPool::PackBlock(uint32_t shard, size_t max_count,
+                                   uint32_t creator, uint64_t round) {
+  TransactionBlock block;
+  block.header.creator_storage_node = creator;
+  block.header.round_created = round;
+  block.header.shard = shard;
+  auto& queue = queues_[shard];
+  while (!queue.empty() && block.transactions.size() < max_count) {
+    block.transactions.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  block.SealHeader();
+  return block;
+}
+
+size_t TxPool::PendingTotal() const {
+  size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace porygon::tx

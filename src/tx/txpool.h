@@ -1,0 +1,47 @@
+#ifndef PORYGON_TX_TXPOOL_H_
+#define PORYGON_TX_TXPOOL_H_
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "tx/blocks.h"
+#include "tx/transaction.h"
+
+namespace porygon::tx {
+
+/// Per-storage-node mempool. Transactions are bucketed by the shard of
+/// their *initiating* account (cross-shard transactions execute first in the
+/// sender's shard, §IV-D2), deduplicated by id, and drained FIFO into
+/// transaction blocks.
+class TxPool {
+ public:
+  explicit TxPool(int shard_bits);
+
+  /// Adds a transaction; duplicates (same id) are ignored. Returns whether
+  /// it was admitted.
+  bool Add(const Transaction& transaction);
+
+  /// Drains up to `max_count` transactions of `shard` into a block. Returns
+  /// a sealed block (possibly with fewer transactions, or zero).
+  TransactionBlock PackBlock(uint32_t shard, size_t max_count,
+                             uint32_t creator, uint64_t round);
+
+  size_t PendingInShard(uint32_t shard) const {
+    return queues_[shard].size();
+  }
+  size_t PendingTotal() const;
+
+ private:
+  struct IdHash {
+    size_t operator()(const TxId& id) const;
+  };
+
+  int shard_bits_;
+  std::vector<std::deque<Transaction>> queues_;
+  std::unordered_set<TxId, IdHash> seen_;
+};
+
+}  // namespace porygon::tx
+
+#endif  // PORYGON_TX_TXPOOL_H_

@@ -1,0 +1,52 @@
+#include "workload/generator.h"
+
+namespace porygon::workload {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+state::AccountId WorkloadGenerator::PickSender() {
+  if (options_.zipf_s > 0) {
+    return 1 + rng_.NextZipf(options_.num_accounts, options_.zipf_s);
+  }
+  return 1 + rng_.NextBelow(options_.num_accounts);
+}
+
+state::AccountId WorkloadGenerator::PickReceiver(state::AccountId sender) {
+  const int bits = options_.shard_bits;
+  if (options_.cross_shard_ratio < 0 || bits == 0) {
+    // Natural: any other account.
+    for (int tries = 0; tries < 64; ++tries) {
+      state::AccountId r = 1 + rng_.NextBelow(options_.num_accounts);
+      if (r != sender) return r;
+    }
+    return sender == 1 ? 2 : 1;
+  }
+  const bool want_cross = rng_.NextBernoulli(options_.cross_shard_ratio);
+  const uint32_t sender_shard = state::ShardOfAccount(sender, bits);
+  for (int tries = 0; tries < 256; ++tries) {
+    state::AccountId r = 1 + rng_.NextBelow(options_.num_accounts);
+    if (r == sender) continue;
+    bool cross = state::ShardOfAccount(r, bits) != sender_shard;
+    if (cross == want_cross) return r;
+  }
+  return sender == 1 ? 2 : 1;  // Degenerate account spaces.
+}
+
+tx::Transaction WorkloadGenerator::Next() {
+  tx::Transaction t;
+  t.from = PickSender();
+  t.to = PickReceiver(t.from);
+  t.amount = rng_.NextInRange(options_.amount_min, options_.amount_max);
+  t.nonce = nonces_[t.from]++;
+  return t;
+}
+
+std::vector<tx::Transaction> WorkloadGenerator::Batch(size_t n) {
+  std::vector<tx::Transaction> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace porygon::workload

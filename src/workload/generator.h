@@ -1,0 +1,58 @@
+#ifndef PORYGON_WORKLOAD_GENERATOR_H_
+#define PORYGON_WORKLOAD_GENERATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "state/account.h"
+#include "tx/transaction.h"
+
+namespace porygon::workload {
+
+/// Transfer-workload parameters. The generators in the paper's evaluation
+/// vary the submission rate (Fig 8c), the cross-shard ratio (Table I), and
+/// account skew.
+struct WorkloadOptions {
+  uint64_t num_accounts = 10'000;
+  int shard_bits = 1;
+  /// Probability a transaction crosses shards. Negative = "natural": the
+  /// receiver is a uniformly random account, so the ratio follows from the
+  /// shard count ((2^N - 1) / 2^N for uniform accounts).
+  double cross_shard_ratio = -1.0;
+  /// Zipf exponent for sender selection (0 = uniform; ~0.9 mimics hot
+  /// accounts).
+  double zipf_s = 0.0;
+  uint64_t amount_min = 1;
+  uint64_t amount_max = 100;
+  uint64_t seed = 1;
+};
+
+/// Deterministic transfer generator with client-side nonce tracking, so
+/// generated sequences are executable (nonces are consecutive per sender).
+/// Account ids are 1..num_accounts — fund them via CreateAccounts before
+/// running.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  /// Next transaction (submitted_at is stamped by the target system).
+  tx::Transaction Next();
+
+  /// Convenience: `n` transactions.
+  std::vector<tx::Transaction> Batch(size_t n);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  state::AccountId PickSender();
+  state::AccountId PickReceiver(state::AccountId sender);
+
+  WorkloadOptions options_;
+  Rng rng_;
+  std::unordered_map<state::AccountId, uint64_t> nonces_;
+};
+
+}  // namespace porygon::workload
+
+#endif  // PORYGON_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,203 @@
+// Tests for the common substrate: Status/Result, byte views, hex, the
+// binary codec, CRC-32C, the deterministic RNG, and Merkle paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/merkle.h"
+
+namespace porygon {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("missing key");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.IsNotFound());
+  EXPECT_EQ(err.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, ResultHoldsValueOrError) {
+  Result<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+
+  Result<int> error(Status::Corruption("bad"));
+  EXPECT_FALSE(error.ok());
+  EXPECT_TRUE(error.status().IsCorruption());
+}
+
+TEST(BytesTest, ByteViewCompare) {
+  Bytes a = ToBytes("abc");
+  Bytes b = ToBytes("abd");
+  Bytes prefix = ToBytes("ab");
+  EXPECT_LT(ByteView(a).Compare(b), 0);
+  EXPECT_GT(ByteView(b).Compare(a), 0);
+  EXPECT_EQ(ByteView(a).Compare(a), 0);
+  EXPECT_GT(ByteView(a).Compare(prefix), 0);  // Longer sorts after.
+  EXPECT_TRUE(ByteView(prefix) < ByteView(a));
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x1f, 0xab, 0xff};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "001fabff");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+  // Uppercase accepted.
+  EXPECT_TRUE(HexDecode("ABCD").ok());
+  // Bad inputs rejected.
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(CodecTest, RoundTripAllTypes) {
+  Encoder enc;
+  enc.PutU8(7);
+  enc.PutU16(512);
+  enc.PutU32(70000);
+  enc.PutU64(1ULL << 40);
+  enc.PutVarint(300);
+  enc.PutBytes(ToBytes("payload"));
+  enc.PutString("text");
+  enc.PutBool(true);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(*dec.GetU8(), 7);
+  EXPECT_EQ(*dec.GetU16(), 512);
+  EXPECT_EQ(*dec.GetU32(), 70000u);
+  EXPECT_EQ(*dec.GetU64(), 1ULL << 40);
+  EXPECT_EQ(*dec.GetVarint(), 300u);
+  EXPECT_EQ(*dec.GetBytes(), ToBytes("payload"));
+  EXPECT_EQ(*dec.GetString(), "text");
+  EXPECT_EQ(*dec.GetBool(), true);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(CodecTest, TruncationDetected) {
+  Encoder enc;
+  enc.PutU64(1234);
+  Bytes data = enc.TakeBuffer();
+  data.resize(4);
+  Decoder dec(data);
+  EXPECT_FALSE(dec.GetU64().ok());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t v : {0ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     ~0ULL}) {
+    Encoder enc;
+    enc.PutVarint(v);
+    EXPECT_EQ(enc.size(), VarintLength(v));
+    Decoder dec(enc.buffer());
+    EXPECT_EQ(*dec.GetVarint(), v) << v;
+  }
+}
+
+TEST(CodecTest, MalformedVarintRejected) {
+  Bytes overlong(11, 0x80);  // Never terminates within 64 bits.
+  Decoder dec(overlong);
+  EXPECT_FALSE(dec.GetVarint().ok());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283.
+  EXPECT_EQ(Crc32c(ToBytes("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32Test, ExtendMatchesOneShot) {
+  Bytes all = ToBytes("hello world, this is porygon");
+  uint32_t oneshot = Crc32c(all);
+  uint32_t partial = Crc32cExtend(0, ByteView(all.data(), 5));
+  partial = Crc32cExtend(partial, ByteView(all.data() + 5, all.size() - 5));
+  // Extend semantics compose over the unmasked value.
+  EXPECT_EQ(partial, oneshot);
+}
+
+TEST(Crc32Test, MaskRoundTrip) {
+  uint32_t crc = Crc32c(ToBytes("data"));
+  EXPECT_NE(Crc32cMask(crc), crc);
+  EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(5), b(5), c(6);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  Rng a2(5);
+  EXPECT_NE(a2.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(4);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextZipf(1000, 1.1) < 10) ++low;
+  }
+  // With s=1.1, the top-10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(low, n / 20);
+}
+
+TEST(MerklePathTest, PathVerifiesForEveryLeaf) {
+  std::vector<crypto::Hash256> leaves;
+  for (int i = 0; i < 11; ++i) {  // Odd count exercises self-pairing.
+    leaves.push_back(crypto::Sha256::Hash(ToBytes("leaf" + std::to_string(i))));
+  }
+  auto root = crypto::ComputeMerkleRoot(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto path = crypto::ComputeMerklePath(leaves, i);
+    EXPECT_TRUE(crypto::VerifyMerklePath(root, leaves[i], i, path)) << i;
+    // Wrong index fails.
+    EXPECT_FALSE(
+        crypto::VerifyMerklePath(root, leaves[i], (i + 1) % leaves.size(),
+                                 path));
+  }
+}
+
+TEST(MerklePathTest, EmptyAndSingleton) {
+  EXPECT_EQ(crypto::ComputeMerkleRoot({}), crypto::ZeroHash());
+  auto leaf = crypto::Sha256::Hash(ToBytes("only"));
+  EXPECT_EQ(crypto::ComputeMerkleRoot({leaf}), leaf);
+  EXPECT_TRUE(crypto::VerifyMerklePath(leaf, leaf, 0, {}));
+}
+
+}  // namespace
+}  // namespace porygon

@@ -1,0 +1,220 @@
+// BA★ consensus tests over an in-memory vote bus: agreement, quorum
+// thresholds, equivocation handling, timeouts, and certificates.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/ba_star.h"
+#include "crypto/provider.h"
+
+namespace porygon::consensus {
+namespace {
+
+using crypto::FastProvider;
+using crypto::Hash256;
+using crypto::KeyPair;
+
+Hash256 Value(uint8_t tag) {
+  Hash256 h{};
+  h[0] = tag;
+  return h;
+}
+
+/// In-memory committee: N BaStar instances wired through a synchronous bus
+/// with optional per-node delivery control.
+class Committee {
+ public:
+  Committee(int n, FastProvider* provider) : provider_(provider) {
+    Rng rng(99);
+    std::vector<crypto::PublicKey> members;
+    for (int i = 0; i < n; ++i) {
+      keys_.push_back(provider->GenerateKeyPair(&rng));
+      members.push_back(keys_.back().public_key);
+    }
+    decisions_.resize(n);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<BaStar>(
+          provider, keys_[i], members,
+          [this](const Vote& v) { pending_.push_back(v); },
+          [this, i](const DecisionCert& cert) { decisions_[i] = cert; }));
+    }
+  }
+
+  /// Delivers all queued votes to all nodes (repeatedly, until quiescent).
+  void DeliverAll() {
+    while (!pending_.empty()) {
+      std::vector<Vote> batch = std::move(pending_);
+      pending_.clear();
+      for (const Vote& v : batch) {
+        for (auto& node : nodes_) node->OnVote(v);
+      }
+    }
+  }
+
+  std::vector<KeyPair> keys_;
+  std::vector<std::unique_ptr<BaStar>> nodes_;
+  std::vector<std::optional<DecisionCert>> decisions_;
+  std::vector<Vote> pending_;
+  FastProvider* provider_;
+};
+
+TEST(BaStarTest, UnanimousProposalDecides) {
+  FastProvider provider;
+  Committee c(7, &provider);
+  for (auto& node : c.nodes_) node->Propose(1, Value(42));
+  c.DeliverAll();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(c.nodes_[i]->decided()) << i;
+    EXPECT_EQ(c.nodes_[i]->decision(), Value(42));
+    ASSERT_TRUE(c.decisions_[i].has_value());
+    EXPECT_GE(c.decisions_[i]->votes.size(), c.nodes_[i]->QuorumSize());
+  }
+}
+
+TEST(BaStarTest, QuorumIsTwoThirdsPlusOne) {
+  FastProvider provider;
+  Committee c(9, &provider);
+  EXPECT_EQ(c.nodes_[0]->QuorumSize(), 7u);  // floor(18/3)+1.
+  Committee c4(4, &provider);
+  EXPECT_EQ(c4.nodes_[0]->QuorumSize(), 3u);
+}
+
+TEST(BaStarTest, MinorityDissentCannotBlockDecision) {
+  FastProvider provider;
+  Committee c(10, &provider);
+  // 8 propose A, 2 propose B: A reaches the soft quorum.
+  for (int i = 0; i < 8; ++i) c.nodes_[i]->Propose(1, Value(1));
+  for (int i = 8; i < 10; ++i) c.nodes_[i]->Propose(1, Value(2));
+  c.DeliverAll();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c.nodes_[i]->decided()) << i;
+    EXPECT_EQ(c.nodes_[i]->decision(), Value(1));
+  }
+}
+
+TEST(BaStarTest, SplitVoteRecoversViaTimeout) {
+  FastProvider provider;
+  Committee c(9, &provider);
+  // 5 vs 4: neither reaches 7.
+  for (int i = 0; i < 5; ++i) c.nodes_[i]->Propose(1, Value(1));
+  for (int i = 5; i < 9; ++i) c.nodes_[i]->Propose(1, Value(2));
+  c.DeliverAll();
+  for (auto& node : c.nodes_) EXPECT_FALSE(node->decided());
+
+  // Timeout: everyone re-votes the strongest value (1, with 5 supporters).
+  for (auto& node : c.nodes_) node->OnTimeout();
+  c.DeliverAll();
+  for (auto& node : c.nodes_) {
+    ASSERT_TRUE(node->decided());
+    EXPECT_EQ(node->decision(), Value(1));
+  }
+}
+
+TEST(BaStarTest, NonMemberVotesIgnored) {
+  FastProvider provider;
+  Committee c(4, &provider);
+  Rng rng(7);
+  KeyPair outsider = provider.GenerateKeyPair(&rng);
+
+  // Outsider floods cert votes for a bogus value.
+  for (int i = 0; i < 10; ++i) {
+    Vote v;
+    v.instance = 1;
+    v.step = 0;
+    v.kind = Vote::kCert;
+    v.value = Value(66);
+    v.voter = outsider.public_key;
+    v.signature = provider.Sign(outsider.private_key, v.SigningBytes());
+    for (auto& node : c.nodes_) node->OnVote(v);
+  }
+  for (auto& node : c.nodes_) node->Propose(1, Value(5));
+  c.DeliverAll();
+  for (auto& node : c.nodes_) EXPECT_EQ(node->decision(), Value(5));
+}
+
+TEST(BaStarTest, ForgedSignatureIgnored) {
+  FastProvider provider;
+  Committee c(4, &provider);
+  for (auto& node : c.nodes_) node->Propose(1, Value(5));
+
+  Vote forged;
+  forged.instance = 1;
+  forged.step = 0;
+  forged.kind = Vote::kSoft;
+  forged.value = Value(77);
+  forged.voter = c.keys_[0].public_key;  // Member, but wrong signature.
+  forged.signature.fill(0xAB);
+  for (auto& node : c.nodes_) node->OnVote(forged);
+
+  c.DeliverAll();
+  for (auto& node : c.nodes_) EXPECT_EQ(node->decision(), Value(5));
+}
+
+TEST(BaStarTest, EquivocationCountsOnlyFirstVote) {
+  FastProvider provider;
+  Committee c(4, &provider);  // Quorum 3.
+  // Node 3 equivocates: signs both values. Nodes 0-2 propose A.
+  for (int i = 0; i < 3; ++i) c.nodes_[i]->Propose(1, Value(1));
+
+  auto make_vote = [&](uint8_t tag) {
+    Vote v;
+    v.instance = 1;
+    v.step = 0;
+    v.kind = Vote::kSoft;
+    v.value = Value(tag);
+    v.voter = c.keys_[3].public_key;
+    v.signature = provider.Sign(c.keys_[3].private_key, v.SigningBytes());
+    return v;
+  };
+  Vote v_a = make_vote(1);
+  Vote v_b = make_vote(2);
+  for (auto& node : c.nodes_) {
+    node->OnVote(v_a);
+    node->OnVote(v_b);  // Second vote from the same voter: inert.
+  }
+  c.DeliverAll();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(c.nodes_[i]->decided());
+    EXPECT_EQ(c.nodes_[i]->decision(), Value(1));
+  }
+}
+
+TEST(BaStarTest, VoteEncodingRoundTrip) {
+  FastProvider provider;
+  Rng rng(3);
+  KeyPair kp = provider.GenerateKeyPair(&rng);
+  Vote v;
+  v.instance = 77;
+  v.step = 3;
+  v.kind = Vote::kCert;
+  v.value = Value(9);
+  v.voter = kp.public_key;
+  v.signature = provider.Sign(kp.private_key, v.SigningBytes());
+
+  auto decoded = Vote::Decode(v.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->instance, 77u);
+  EXPECT_EQ(decoded->step, 3u);
+  EXPECT_EQ(decoded->kind, Vote::kCert);
+  EXPECT_EQ(decoded->value, Value(9));
+  EXPECT_EQ(decoded->voter, kp.public_key);
+  EXPECT_EQ(decoded->signature, v.signature);
+}
+
+TEST(BaStarTest, CrashFaultMinorityStillDecides) {
+  FastProvider provider;
+  Committee c(10, &provider);
+  // 3 members never vote (crashed); 7 >= quorum(7) carry the decision.
+  for (int i = 0; i < 7; ++i) c.nodes_[i]->Propose(1, Value(4));
+  c.DeliverAll();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(c.nodes_[i]->decided());
+    EXPECT_EQ(c.nodes_[i]->decision(), Value(4));
+  }
+}
+
+}  // namespace
+}  // namespace porygon::consensus

@@ -1,0 +1,153 @@
+// Cross-shard coordinator tests: conflict filtering, locking, update
+// routing, retry, and rollback (§IV-D2).
+
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+
+namespace porygon::core {
+namespace {
+
+using tx::StateUpdate;
+using tx::Transaction;
+
+Transaction Transfer(uint64_t from, uint64_t to, uint64_t amount = 1,
+                     uint64_t nonce = 0) {
+  Transaction t;
+  t.from = from;
+  t.to = to;
+  t.amount = amount;
+  t.nonce = nonce;
+  return t;
+}
+
+TEST(CoordinatorTest, SplitsIntraAndCross) {
+  CrossShardCoordinator coord(1, 2);  // 2 shards.
+  auto r = coord.FilterAndLock(1, {Transfer(2, 4), Transfer(6, 3)});
+  // 2->4 same shard (even/even); 6->3 crosses.
+  EXPECT_EQ(r.accepted_intra.size(), 1u);
+  EXPECT_EQ(r.accepted_cross.size(), 1u);
+  EXPECT_TRUE(r.discarded.empty());
+}
+
+TEST(CoordinatorTest, CrossShardTakesPriorityOverSameRoundIntra) {
+  // An intra tx touching an account claimed by a same-round cross-shard tx
+  // is discarded — otherwise the Multi-Shard Update would clobber the
+  // intra-shard effect (lost update).
+  CrossShardCoordinator coord(1, 2);
+  auto r = coord.FilterAndLock(1, {Transfer(2, 4), Transfer(2, 3)});
+  EXPECT_EQ(r.accepted_cross.size(), 1u);   // 2->3 wins.
+  EXPECT_EQ(r.accepted_intra.size(), 0u);   // 2->4 conflicts on account 2.
+  EXPECT_EQ(r.discarded.size(), 1u);
+}
+
+TEST(CoordinatorTest, CrossShardAccountsLockUntilCommit) {
+  CrossShardCoordinator coord(1, 2);
+  auto r1 = coord.FilterAndLock(1, {Transfer(2, 3)});
+  ASSERT_EQ(r1.accepted_cross.size(), 1u);
+  EXPECT_TRUE(coord.IsLocked(2));
+  EXPECT_TRUE(coord.IsLocked(3));
+
+  // A later round's transaction touching a locked account is abandoned.
+  auto r2 = coord.FilterAndLock(2, {Transfer(2, 6), Transfer(8, 10)});
+  EXPECT_EQ(r2.discarded.size(), 1u);
+  EXPECT_EQ(r2.accepted_intra.size(), 1u);  // 8->10 is unrelated.
+
+  // Complete the batch: S sets arrive, updates routed. Locks release as
+  // soon as U is built (updates-first execution ordering makes later
+  // transactions safe), not only at final commit.
+  std::vector<std::vector<StateUpdate>> s_sets = {
+      {{2, {900, 1}}, {3, {1100, 0}}}};
+  auto u = coord.BuildUpdateList(1, s_sets, {{2, {1000, 0}}, {3, {1000, 0}}});
+  ASSERT_EQ(u.size(), 2u);
+  ASSERT_EQ(u[0].size(), 1u);  // Account 2 -> shard 0.
+  EXPECT_EQ(u[0][0].account, 2u);
+  ASSERT_EQ(u[1].size(), 1u);  // Account 3 -> shard 1.
+  EXPECT_FALSE(coord.IsLocked(2));
+  EXPECT_FALSE(coord.IsLocked(3));
+
+  auto o1 = coord.OnShardUpdateResult(1, 0, true);
+  EXPECT_FALSE(o1.resolved);
+  auto o2 = coord.OnShardUpdateResult(1, 1, true);
+  EXPECT_TRUE(o2.resolved);
+  EXPECT_FALSE(o2.rolled_back);
+}
+
+TEST(CoordinatorTest, SameRoundCrossShardConflictDiscarded) {
+  CrossShardCoordinator coord(1, 2);
+  // Both cross-shard, both touch account 3 -> the second is discarded.
+  auto r = coord.FilterAndLock(1, {Transfer(2, 3), Transfer(4, 3)});
+  EXPECT_EQ(r.accepted_cross.size(), 1u);
+  EXPECT_EQ(r.discarded.size(), 1u);
+}
+
+TEST(CoordinatorTest, SameRoundIntraShardConflictsAllowed) {
+  CrossShardCoordinator coord(1, 2);
+  // Two intra-shard txs sharing account 2: the ESC resolves those, not the
+  // OC ("conflicts within the same shard and in the same round do not have
+  // to be detected by the OC").
+  auto r = coord.FilterAndLock(1, {Transfer(2, 4), Transfer(2, 6)});
+  EXPECT_EQ(r.accepted_intra.size(), 2u);
+  EXPECT_TRUE(r.discarded.empty());
+}
+
+TEST(CoordinatorTest, PendingUpdatesResentUntilSuccess) {
+  CrossShardCoordinator coord(1, 3);
+  coord.FilterAndLock(1, {Transfer(2, 3)});
+  std::vector<std::vector<StateUpdate>> s_sets = {
+      {{2, {900, 1}}, {3, {1100, 0}}}};
+  coord.BuildUpdateList(1, s_sets, {{2, {1000, 0}}, {3, {1000, 0}}});
+
+  // Shard 1 fails once: its updates stay pending.
+  auto o = coord.OnShardUpdateResult(1, 1, false);
+  EXPECT_FALSE(o.resolved);
+  auto pending = coord.PendingUpdatesFor(1, /*current_round=*/5);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].account, 3u);
+
+  // Shard 0 succeeds; shard 1 finally succeeds.
+  coord.OnShardUpdateResult(1, 0, true);
+  auto done = coord.OnShardUpdateResult(1, 1, true);
+  EXPECT_TRUE(done.resolved);
+  EXPECT_TRUE(coord.PendingUpdatesFor(1, /*current_round=*/6).empty());
+}
+
+TEST(CoordinatorTest, RollbackAfterRetryBudget) {
+  CrossShardCoordinator coord(1, 2);  // 2 retry rounds.
+  coord.FilterAndLock(1, {Transfer(2, 3)});
+  std::vector<std::vector<StateUpdate>> s_sets = {
+      {{2, {900, 1}}, {3, {1100, 0}}}};
+  std::vector<StateUpdate> old_values = {{2, {1000, 0}}, {3, {1000, 0}}};
+  coord.BuildUpdateList(1, s_sets, old_values);
+
+  coord.OnShardUpdateResult(1, 0, true);
+  EXPECT_FALSE(coord.OnShardUpdateResult(1, 1, false).resolved);
+  EXPECT_FALSE(coord.OnShardUpdateResult(1, 1, false).resolved);
+  // Third failure exceeds the 2-round budget: compensating rollback.
+  auto o = coord.OnShardUpdateResult(1, 1, false);
+  EXPECT_TRUE(o.resolved);
+  EXPECT_TRUE(o.rolled_back);
+  ASSERT_EQ(o.compensation.size(), 2u);
+  ASSERT_EQ(o.compensation[0].size(), 1u);
+  EXPECT_EQ(o.compensation[0][0].account, 2u);
+  EXPECT_EQ(o.compensation[0][0].value.balance, 1000u);  // Old value.
+  // Locks are released after rollback.
+  EXPECT_FALSE(coord.IsLocked(2));
+  EXPECT_FALSE(coord.IsLocked(3));
+}
+
+TEST(CoordinatorTest, ShardsWithNoUpdatesAreTriviallyDone) {
+  CrossShardCoordinator coord(2, 2);  // 4 shards.
+  // 1 -> 2: shards 1 and 2 involved; shards 0 and 3 idle.
+  coord.FilterAndLock(1, {Transfer(1, 2)});
+  std::vector<std::vector<StateUpdate>> s_sets = {
+      {{1, {90, 1}}, {2, {110, 0}}}};
+  coord.BuildUpdateList(1, s_sets, {{1, {100, 0}}, {2, {100, 0}}});
+  // Only the two involved shards need to report.
+  coord.OnShardUpdateResult(1, 1, true);
+  auto o = coord.OnShardUpdateResult(1, 2, true);
+  EXPECT_TRUE(o.resolved);
+}
+
+}  // namespace
+}  // namespace porygon::core

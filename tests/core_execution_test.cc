@@ -1,0 +1,172 @@
+// Shard executor tests: transfer semantics, determinism, failure recording,
+// cross-shard pre-execution, and update application.
+
+#include <gtest/gtest.h>
+
+#include "core/execution.h"
+
+namespace porygon::core {
+namespace {
+
+using state::Account;
+using state::ShardedState;
+using tx::StateUpdate;
+using tx::Transaction;
+
+Transaction Transfer(uint64_t from, uint64_t to, uint64_t amount,
+                     uint64_t nonce) {
+  Transaction t;
+  t.from = from;
+  t.to = to;
+  t.amount = amount;
+  t.nonce = nonce;
+  return t;
+}
+
+class ExecutionTest : public ::testing::Test {
+ protected:
+  ExecutionTest() : state_(1) {  // 2 shards: even ids -> 0, odd -> 1.
+    state_.PutAccount(2, {1000, 0});   // Shard 0.
+    state_.PutAccount(4, {500, 0});    // Shard 0.
+    state_.PutAccount(3, {800, 0});    // Shard 1.
+  }
+  ShardedState state_;
+};
+
+TEST_F(ExecutionTest, IntraShardTransferApplies) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(2, 4, 100, 0)};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 1u);
+  EXPECT_TRUE(result.failed.empty());
+  EXPECT_EQ(state_.GetOrDefault(2).balance, 900u);
+  EXPECT_EQ(state_.GetOrDefault(2).nonce, 1u);
+  EXPECT_EQ(state_.GetOrDefault(4).balance, 600u);
+  EXPECT_EQ(result.shard_root, state_.ShardRoot(0));
+}
+
+TEST_F(ExecutionTest, TransferToFreshAccountCreatesIt) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(2, 100, 50, 0)};  // 100 is even: shard 0, new.
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 1u);
+  EXPECT_EQ(state_.GetOrDefault(100).balance, 50u);
+}
+
+TEST_F(ExecutionTest, InsufficientBalanceFails) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(4, 2, 10000, 0)};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 0u);
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0].reason, TxFailure::kInsufficientBalance);
+  EXPECT_EQ(state_.GetOrDefault(4).balance, 500u);  // Unchanged.
+}
+
+TEST_F(ExecutionTest, ReplayRejectedByNonce) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(2, 4, 100, 0), Transfer(2, 4, 100, 0)};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 1u);  // Second is a duplicate.
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0].reason, TxFailure::kBadNonce);
+  EXPECT_EQ(state_.GetOrDefault(2).balance, 900u);  // Debited once.
+}
+
+TEST_F(ExecutionTest, SequentialNoncesChainWithinOneBlock) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(2, 4, 100, 0), Transfer(2, 4, 100, 1)};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 2u);
+  EXPECT_EQ(state_.GetOrDefault(2).balance, 800u);
+  EXPECT_EQ(state_.GetOrDefault(2).nonce, 2u);
+}
+
+TEST_F(ExecutionTest, WrongShardSenderRejected) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(3, 2, 10, 0)};  // 3 lives in shard 1.
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.intra_applied, 0u);
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0].reason, TxFailure::kWrongShard);
+}
+
+TEST_F(ExecutionTest, CrossShardPreExecutionDoesNotMutateState) {
+  auto root_before = state_.ShardRoot(0);
+  ExecutionInput in;
+  in.shard = 0;
+  in.cross_shard = {Transfer(2, 3, 200, 0)};  // 2 (shard 0) -> 3 (shard 1).
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.cross_pre_executed, 1u);
+  // No subtree mutation.
+  EXPECT_EQ(state_.ShardRoot(0), root_before);
+  EXPECT_EQ(state_.GetOrDefault(2).balance, 1000u);
+  // S contains final values for both accounts.
+  ASSERT_EQ(result.cross_updates.size(), 2u);
+  EXPECT_EQ(result.cross_updates[0].account, 2u);
+  EXPECT_EQ(result.cross_updates[0].value.balance, 800u);
+  EXPECT_EQ(result.cross_updates[0].value.nonce, 1u);
+  EXPECT_EQ(result.cross_updates[1].account, 3u);
+  EXPECT_EQ(result.cross_updates[1].value.balance, 1000u);
+}
+
+TEST_F(ExecutionTest, SameRoundCrossShardTransactionsCompose) {
+  ExecutionInput in;
+  in.shard = 0;
+  in.cross_shard = {Transfer(2, 3, 100, 0), Transfer(2, 3, 100, 1)};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(result.cross_pre_executed, 2u);
+  ASSERT_EQ(result.cross_updates.size(), 2u);
+  EXPECT_EQ(result.cross_updates[0].value.balance, 800u);  // Sender 2.
+  EXPECT_EQ(result.cross_updates[0].value.nonce, 2u);
+  EXPECT_EQ(result.cross_updates[1].value.balance, 1000u);  // Receiver 3.
+}
+
+TEST_F(ExecutionTest, UpdateListAppliesDirectly) {
+  ExecutionInput in;
+  in.shard = 1;
+  in.updates = {{3, {123, 9}}};
+  auto result = ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(state_.GetOrDefault(3).balance, 123u);
+  EXPECT_EQ(state_.GetOrDefault(3).nonce, 9u);
+  EXPECT_EQ(result.shard_root, state_.ShardRoot(1));
+}
+
+TEST_F(ExecutionTest, UpdatesForForeignShardIgnored) {
+  ExecutionInput in;
+  in.shard = 1;
+  in.updates = {{2, {1, 1}}};  // Account 2 belongs to shard 0.
+  ShardExecutor::Execute(&state_, in);
+  EXPECT_EQ(state_.GetOrDefault(2).balance, 1000u);  // Untouched.
+}
+
+TEST_F(ExecutionTest, ExecutionIsDeterministicAcrossReplicas) {
+  // Two replicas with identical state and inputs produce identical roots
+  // and S sets (Lemma 3's premise).
+  ShardedState replica(1);
+  replica.PutAccount(2, {1000, 0});
+  replica.PutAccount(4, {500, 0});
+  replica.PutAccount(3, {800, 0});
+
+  ExecutionInput in;
+  in.shard = 0;
+  in.intra_shard = {Transfer(2, 4, 10, 0), Transfer(4, 2, 5, 0)};
+  in.cross_shard = {Transfer(2, 3, 20, 1)};
+
+  auto r1 = ShardExecutor::Execute(&state_, in);
+  auto r2 = ShardExecutor::Execute(&replica, in);
+  EXPECT_EQ(r1.shard_root, r2.shard_root);
+  EXPECT_EQ(r1.cross_updates.size(), r2.cross_updates.size());
+  for (size_t i = 0; i < r1.cross_updates.size(); ++i) {
+    EXPECT_EQ(r1.cross_updates[i], r2.cross_updates[i]);
+  }
+}
+
+}  // namespace
+}  // namespace porygon::core

@@ -1,0 +1,208 @@
+// Ed25519 tests: RFC 8032 test vectors, field-arithmetic properties, and
+// adversarial rejection cases (tampering, malleability, bad points).
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/sc25519.h"
+
+namespace porygon::crypto {
+namespace {
+
+PrivateKey SeedFromHex(const std::string& hex) {
+  auto r = HexDecode(hex);
+  PrivateKey k;
+  std::copy(r->begin(), r->end(), k.begin());
+  return k;
+}
+
+// --- RFC 8032 section 7.1 test vectors -------------------------------------
+
+TEST(Ed25519Rfc8032Test, Test1EmptyMessage) {
+  auto seed = SeedFromHex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  KeyPair kp = Ed25519KeyPairFromSeed(seed);
+  EXPECT_EQ(HexEncode(ByteView(kp.public_key.data(), 32)),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  Signature sig = Ed25519Sign(seed, ByteView(std::string_view("")));
+  EXPECT_EQ(HexEncode(ByteView(sig.data(), 64)),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(
+      Ed25519Verify(kp.public_key, ByteView(std::string_view("")), sig));
+}
+
+TEST(Ed25519Rfc8032Test, Test2OneByteMessage) {
+  auto seed = SeedFromHex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  KeyPair kp = Ed25519KeyPairFromSeed(seed);
+  EXPECT_EQ(HexEncode(ByteView(kp.public_key.data(), 32)),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  uint8_t msg[1] = {0x72};
+  Signature sig = Ed25519Sign(seed, ByteView(msg, 1));
+  EXPECT_EQ(HexEncode(ByteView(sig.data(), 64)),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(Ed25519Verify(kp.public_key, ByteView(msg, 1), sig));
+}
+
+// --- Round-trip and rejection properties ------------------------------------
+
+TEST(Ed25519Test, SignVerifyRoundTripManyKeys) {
+  Rng rng(0xE0E0E0);
+  for (int i = 0; i < 8; ++i) {
+    KeyPair kp = Ed25519GenerateKeyPair(&rng);
+    Bytes msg = rng.NextBytes(1 + i * 13);
+    Signature sig = Ed25519Sign(kp.private_key, msg);
+    EXPECT_TRUE(Ed25519Verify(kp.public_key, msg, sig));
+  }
+}
+
+TEST(Ed25519Test, TamperedMessageRejected) {
+  Rng rng(7);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = ToBytes("transfer 100 from A to B");
+  Signature sig = Ed25519Sign(kp.private_key, msg);
+  Bytes tampered = msg;
+  tampered[9] ^= 0x01;  // "100" -> different amount.
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, tampered, sig));
+}
+
+TEST(Ed25519Test, TamperedSignatureRejected) {
+  Rng rng(8);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = ToBytes("hello");
+  Signature sig = Ed25519Sign(kp.private_key, msg);
+  for (size_t byte : {size_t{0}, size_t{31}, size_t{32}, size_t{63}}) {
+    Signature bad = sig;
+    bad[byte] ^= 0x40;
+    EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, bad)) << "byte " << byte;
+  }
+}
+
+TEST(Ed25519Test, WrongKeyRejected) {
+  Rng rng(9);
+  KeyPair kp1 = Ed25519GenerateKeyPair(&rng);
+  KeyPair kp2 = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = ToBytes("message");
+  Signature sig = Ed25519Sign(kp1.private_key, msg);
+  EXPECT_FALSE(Ed25519Verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ed25519Test, NonCanonicalScalarRejected) {
+  // S >= l must be rejected (malleability guard). Craft S = l.
+  Rng rng(10);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = ToBytes("msg");
+  Signature sig = Ed25519Sign(kp.private_key, msg);
+  const uint8_t l_le[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                            0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+  std::copy(l_le, l_le + 32, sig.begin() + 32);
+  EXPECT_FALSE(Ed25519Verify(kp.public_key, msg, sig));
+}
+
+TEST(Ed25519Test, DeterministicSignatures) {
+  Rng rng(11);
+  KeyPair kp = Ed25519GenerateKeyPair(&rng);
+  Bytes msg = ToBytes("deterministic");
+  EXPECT_EQ(Ed25519Sign(kp.private_key, msg), Ed25519Sign(kp.private_key, msg));
+}
+
+TEST(Ed25519Test, BasePointOrder) {
+  EXPECT_TRUE(ed25519_internal::BasePointHasExpectedOrder());
+}
+
+// --- Field arithmetic properties --------------------------------------------
+
+class Fe25519PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Fe25519PropertyTest, RingAxioms) {
+  Rng rng(GetParam());
+  auto random_fe = [&rng]() {
+    Bytes b = rng.NextBytes(32);
+    return FeFromBytes(b.data());
+  };
+  Fe25519 a = random_fe(), b = random_fe(), c = random_fe();
+
+  // Commutativity.
+  EXPECT_TRUE(FeEqual(FeAdd(a, b), FeAdd(b, a)));
+  EXPECT_TRUE(FeEqual(FeMul(a, b), FeMul(b, a)));
+  // Associativity.
+  EXPECT_TRUE(FeEqual(FeMul(FeMul(a, b), c), FeMul(a, FeMul(b, c))));
+  EXPECT_TRUE(FeEqual(FeAdd(FeAdd(a, b), c), FeAdd(a, FeAdd(b, c))));
+  // Distributivity.
+  EXPECT_TRUE(
+      FeEqual(FeMul(a, FeAdd(b, c)), FeAdd(FeMul(a, b), FeMul(a, c))));
+  // Identities and inverses.
+  EXPECT_TRUE(FeEqual(FeMul(a, FeOne()), a));
+  EXPECT_TRUE(FeEqual(FeAdd(a, FeZero()), a));
+  EXPECT_TRUE(FeEqual(FeSub(a, a), FeZero()));
+  if (!FeIsZero(a)) {
+    EXPECT_TRUE(FeEqual(FeMul(a, FeInvert(a)), FeOne()));
+  }
+  // Square matches mul.
+  EXPECT_TRUE(FeEqual(FeSquare(a), FeMul(a, a)));
+  // Encode/decode round trip.
+  auto bytes = FeToBytes(a);
+  EXPECT_TRUE(FeEqual(FeFromBytes(bytes.data()), a));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Fe25519PropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Fe25519Test, SqrtM1Squared) {
+  EXPECT_TRUE(FeEqual(FeSquare(FeSqrtM1()), FeNeg(FeOne())));
+}
+
+// --- Scalar arithmetic -------------------------------------------------------
+
+TEST(Sc25519Test, ReduceOfGroupOrderIsZero) {
+  uint8_t l_le[32] = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                      0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+  Scalar r = ScReduce32(l_le);
+  EXPECT_TRUE(ScIsZero(r));
+  EXPECT_FALSE(ScIsCanonical(l_le));
+}
+
+TEST(Sc25519Test, MulAddSmallValues) {
+  Scalar a{}, b{}, c{};
+  a[0] = 3;
+  b[0] = 5;
+  c[0] = 7;
+  Scalar r = ScMulAdd(a, b, c);
+  Scalar expected{};
+  expected[0] = 22;
+  EXPECT_EQ(r, expected);
+}
+
+TEST(Sc25519Test, MulAddDistributes) {
+  Rng rng(99);
+  // (a*b + 0) + (a*c + 0) == a*(b+c) mod l, exercised via ScMulAdd identities.
+  Scalar a{}, b{}, c{}, zero{};
+  auto rnd = rng.NextBytes(32);
+  Scalar raw;
+  std::copy(rnd.begin(), rnd.end(), raw.begin());
+  a = ScReduce32(raw.data());
+  rnd = rng.NextBytes(32);
+  std::copy(rnd.begin(), rnd.end(), raw.begin());
+  b = ScReduce32(raw.data());
+  rnd = rng.NextBytes(32);
+  std::copy(rnd.begin(), rnd.end(), raw.begin());
+  c = ScReduce32(raw.data());
+
+  Scalar ab = ScMulAdd(a, b, zero);
+  Scalar ac = ScMulAdd(a, c, zero);
+  Scalar sum_then_mul = ScMulAdd(a, ScMulAdd(b, ScalarOne(), c), zero);
+  Scalar mul_then_sum = ScMulAdd(ScalarOne(), ab, ac);
+  EXPECT_EQ(sum_then_mul, mul_then_sum);
+}
+
+}  // namespace
+}  // namespace porygon::crypto

@@ -1,0 +1,103 @@
+// Tests for SHA-256 and SHA-512 against FIPS 180-4 / NIST example vectors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace porygon::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(HashToHex(Sha256::Hash(ByteView(std::string_view("")))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashToHex(Sha256::Hash(ByteView(std::string_view("abc")))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(HashToHex(Sha256::Hash(ByteView(std::string_view(msg)))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(ByteView(std::string_view(chunk)));
+  EXPECT_EQ(HashToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries at odd offsets. 0123456789.";
+  auto oneshot = Sha256::Hash(ByteView(std::string_view(msg)));
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(ByteView(std::string_view(msg).substr(0, split)));
+    h.Update(ByteView(std::string_view(msg).substr(split)));
+    EXPECT_EQ(h.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, HashPairMatchesConcatenation) {
+  Bytes a = ToBytes("left-subtree");
+  Bytes b = ToBytes("right-subtree");
+  Bytes ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(Sha256::HashPair(a, b), Sha256::Hash(ab));
+}
+
+TEST(Sha256Test, PrefixU64IsBigEndian) {
+  Hash256 h;
+  h.fill(0);
+  h[0] = 0x01;
+  h[7] = 0xff;
+  EXPECT_EQ(HashPrefixU64(h), 0x01000000000000ffULL);
+}
+
+TEST(Sha512Test, EmptyInput) {
+  auto d = Sha512::Hash(ByteView(std::string_view("")));
+  EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  auto d = Sha512::Hash(ByteView(std::string_view("abc")));
+  EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  const std::string msg =
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+  auto d = Sha512::Hash(ByteView(std::string_view(msg)));
+  EXPECT_EQ(HexEncode(ByteView(d.data(), d.size())),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, IncrementalMatchesOneShot) {
+  std::string msg(300, 'x');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 7);
+  auto oneshot = Sha512::Hash(ByteView(std::string_view(msg)));
+  Sha512 h;
+  h.Update(ByteView(std::string_view(msg).substr(0, 129)));
+  h.Update(ByteView(std::string_view(msg).substr(129)));
+  EXPECT_EQ(h.Finish(), oneshot);
+}
+
+}  // namespace
+}  // namespace porygon::crypto

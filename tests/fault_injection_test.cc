@@ -1,0 +1,161 @@
+// Fault-injection coverage: network partitions and crashes against the
+// protocol's liveness/safety claims (§V), plus witness-phase data
+// availability (Challenge 2) at the message level.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "net/network.h"
+#include "workload/generator.h"
+
+namespace porygon::core {
+namespace {
+
+SystemOptions Opts() {
+  SystemOptions opt;
+  opt.params.shard_bits = 1;
+  opt.params.witness_threshold = 2;
+  opt.params.execution_threshold = 2;
+  opt.params.block_tx_limit = 50;
+  opt.params.storage_connections = 2;
+  opt.num_storage_nodes = 2;
+  opt.num_stateless_nodes = 26;
+  opt.oc_size = 4;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(FaultInjectionTest, CrashedStatelessNodesDontStallRounds) {
+  PorygonSystem sys(Opts());
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 10; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  // Crash a couple of non-OC nodes mid-run (harsher than Byzantine-silent:
+  // they also stop ACKing network deliveries).
+  sys.Run(3);
+  int crashed = 0;
+  for (int i = 0; i < sys.num_stateless_nodes() && crashed < 3; ++i) {
+    if (!sys.stateless_node(i)->in_oc()) {
+      sys.network()->SetCrashed(sys.stateless_node(i)->net_id(), true);
+      ++crashed;
+    }
+  }
+  sys.Run(9);
+  EXPECT_EQ(sys.metrics().committed_blocks, 12u);  // Rounds keep closing.
+  EXPECT_GT(sys.metrics().committed_intra_txs, 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+}
+
+TEST(FaultInjectionTest, WitnessPhaseBlocksUnavailableBodies) {
+  // Every storage node withholds bodies AND drops routed traffic — far
+  // beyond the paper's beta = 1/2 bound. No transaction can be witnessed,
+  // so nothing ever commits; what matters is that nothing *incorrect*
+  // commits either.
+  SystemOptions opt = Opts();
+  opt.malicious_storage_fraction = 1.0;
+  PorygonSystem sys(opt);
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 10; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  sys.Run(8, net::FromSeconds(300));
+  EXPECT_EQ(sys.metrics().committed_intra_txs, 0u);
+  EXPECT_EQ(sys.metrics().committed_cross_txs, 0u);
+  // Whatever blocks exist (if any) are empty ones.
+  EXPECT_EQ(sys.metrics().empty_rounds, sys.metrics().committed_blocks);
+  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+}
+
+TEST(FaultInjectionTest, DropFilterCensorshipDegradesButDoesNotCorrupt) {
+  // Randomly drop 20% of witness uploads at the network layer: some blocks
+  // miss Tw and roll into later batches, but committed state stays
+  // consistent (replay matches).
+  PorygonSystem sys(Opts());
+  sys.CreateAccounts(10'000, 100'000);
+  Rng drop_rng(99);
+  sys.network()->SetDropFilter([&drop_rng](const net::Message& m) {
+    return m.kind == kMsgWitnessUpload && drop_rng.NextBernoulli(0.2);
+  });
+  workload::WorkloadGenerator gen(
+      {.num_accounts = 10'000, .shard_bits = 1, .seed = 17});
+  for (int r = 0; r < 12; ++r) {
+    for (const auto& t : gen.Batch(150)) sys.SubmitTransaction(t);
+    sys.Run(1);
+  }
+  EXPECT_GT(sys.metrics().committed_intra_txs +
+                sys.metrics().committed_cross_txs,
+            0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+
+  uint64_t total = 0;
+  for (uint64_t id = 1; id <= 10'000; ++id) {
+    total += sys.canonical_state().GetOrDefault(id).balance;
+  }
+  EXPECT_EQ(total, 10'000ull * 100'000ull);  // Censorship never mints/burns.
+}
+
+TEST(FaultInjectionTest, CrashedStorageMinorityIsRoutedAround) {
+  // One of four storage nodes crashes outright. Stateless nodes whose
+  // primary died lose their round feed, but nodes served by live storage
+  // keep the system committing.
+  SystemOptions opt = Opts();
+  opt.num_storage_nodes = 4;
+  PorygonSystem sys(opt);
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 16; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  sys.Run(2);
+  sys.network()->SetCrashed(sys.storage_node(3)->net_id(), true);
+  sys.Run(10, net::FromSeconds(300));
+  EXPECT_GT(sys.metrics().committed_blocks, 8u);
+  EXPECT_GT(sys.metrics().committed_intra_txs, 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+}
+
+TEST(FaultInjectionTest, LateJoinerSeesConsistentChainTip) {
+  // A fresh observer can verify the whole committed chain by hash links and
+  // aggregated roots alone (what a new stateless node checks on join).
+  PorygonSystem sys(Opts());
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 10; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 2;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  sys.Run(10);
+  const auto& chain = sys.chain();
+  for (size_t i = 1; i < chain.size(); ++i) {
+    ASSERT_EQ(chain[i].prev_hash, chain[i - 1].Hash());
+    if (!chain[i].shard_roots.empty()) {
+      ASSERT_EQ(chain[i].state_root,
+                state::ShardedState::AggregateRoots(chain[i].shard_roots));
+    }
+  }
+  // And the canonical state agrees with the final committed roots once the
+  // pipeline drains (last block's roots reflect executions two rounds back,
+  // so compare against the matching cached roots instead of blind equality).
+  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace porygon::core

@@ -1,0 +1,366 @@
+// End-to-end tests for the LSM Db: WAL recovery, flush, compaction, scans,
+// bloom filters, and SSTable format round trips.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/bloom.h"
+#include "storage/db.h"
+#include "storage/env.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace porygon::storage {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) builder.Add(ToBytes(k));
+  Bytes data = builder.Finish();
+  BloomFilterReader reader(data);
+  for (const auto& k : keys) {
+    EXPECT_TRUE(reader.MayContain(ToBytes(k))) << k;
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 1000; ++i) builder.Add(ToBytes("in" + std::to_string(i)));
+  Bytes data = builder.Finish();
+  BloomFilterReader reader(data);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (reader.MayContain(ToBytes("out" + std::to_string(i)))) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/key targets ~1%; allow generous slack.
+  EXPECT_LT(false_positives, 400);
+}
+
+TEST(SstableTest, BuildAndReadBack) {
+  MemEnv env;
+  SstableBuilder builder(&env, "t.sst");
+  ASSERT_TRUE(builder.Add(ToBytes("a"), 1, ValueType::kValue, ToBytes("va"))
+                  .ok());
+  ASSERT_TRUE(builder.Add(ToBytes("b"), 2, ValueType::kDeletion, ByteView())
+                  .ok());
+  ASSERT_TRUE(builder.Add(ToBytes("c"), 3, ValueType::kValue, ToBytes("vc"))
+                  .ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader = SstableReader::Open(&env, "t.sst");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->entry_count(), 3u);
+
+  bool tombstone = false;
+  auto va = (*reader)->Get(ToBytes("a"), &tombstone);
+  ASSERT_TRUE(va.ok());
+  EXPECT_EQ(*va, ToBytes("va"));
+
+  auto vb = (*reader)->Get(ToBytes("b"), &tombstone);
+  EXPECT_FALSE(vb.ok());
+  EXPECT_TRUE(tombstone);
+
+  tombstone = false;
+  auto vd = (*reader)->Get(ToBytes("d"), &tombstone);
+  EXPECT_FALSE(vd.ok());
+  EXPECT_FALSE(tombstone);
+}
+
+TEST(SstableTest, RejectsOutOfOrderKeys) {
+  MemEnv env;
+  SstableBuilder builder(&env, "t.sst");
+  ASSERT_TRUE(builder.Add(ToBytes("b"), 1, ValueType::kValue, ToBytes("1"))
+                  .ok());
+  EXPECT_FALSE(builder.Add(ToBytes("a"), 2, ValueType::kValue, ToBytes("2"))
+                   .ok());
+  EXPECT_FALSE(builder.Add(ToBytes("b"), 3, ValueType::kValue, ToBytes("3"))
+                   .ok());
+}
+
+TEST(SstableTest, ManyKeysSpanningIndexGroups) {
+  MemEnv env;
+  SstableBuilder builder(&env, "big.sst");
+  const int n = 1000;  // Dozens of sparse-index groups.
+  char keybuf[16];
+  for (int i = 0; i < n; ++i) {
+    std::snprintf(keybuf, sizeof(keybuf), "key%06d", i);
+    ASSERT_TRUE(builder
+                    .Add(ToBytes(keybuf), i + 1, ValueType::kValue,
+                         ToBytes("value" + std::to_string(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader = SstableReader::Open(&env, "big.sst");
+  ASSERT_TRUE(reader.ok());
+  bool tombstone;
+  for (int i = 0; i < n; i += 37) {
+    std::snprintf(keybuf, sizeof(keybuf), "key%06d", i);
+    auto v = (*reader)->Get(ToBytes(keybuf), &tombstone);
+    ASSERT_TRUE(v.ok()) << keybuf;
+    EXPECT_EQ(*v, ToBytes("value" + std::to_string(i)));
+  }
+  // ForEach yields all entries in order.
+  int count = 0;
+  Bytes prev;
+  ASSERT_TRUE((*reader)
+                  ->ForEach([&](const SstableReader::Entry& e) {
+                    if (count > 0) {
+                      EXPECT_TRUE(ByteView(prev) < ByteView(e.key));
+                    }
+                    prev = e.key;
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, n);
+}
+
+TEST(SstableTest, CorruptFooterDetected) {
+  MemEnv env;
+  SstableBuilder builder(&env, "t.sst");
+  ASSERT_TRUE(builder.Add(ToBytes("k"), 1, ValueType::kValue, ToBytes("v"))
+                  .ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  // Flip a byte inside the footer's offsets region.
+  auto data = env.ReadFile("t.sst");
+  ASSERT_TRUE(data.ok());
+  Bytes corrupted = *data;
+  corrupted[corrupted.size() - 20] ^= 0xFF;
+  auto f = env.NewWritableFile("t.sst");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append(corrupted).ok());
+
+  auto reader = SstableReader::Open(&env, "t.sst");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WalTest, WriteReplayRoundTrip) {
+  MemEnv env;
+  {
+    auto w = WalWriter::Open(&env, "wal");
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE((*w)->AddRecord(1, ValueType::kValue, ToBytes("a"),
+                                ToBytes("1")).ok());
+    ASSERT_TRUE((*w)->AddRecord(2, ValueType::kDeletion, ToBytes("a"),
+                                ByteView()).ok());
+    ASSERT_TRUE((*w)->AddRecord(3, ValueType::kValue, ToBytes("b"),
+                                ToBytes("2")).ok());
+  }
+  std::vector<WalRecord> records;
+  auto max_seq = WalReplay(&env, "wal",
+                           [&](const WalRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(max_seq.ok());
+  EXPECT_EQ(*max_seq, 3u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, ToBytes("a"));
+  EXPECT_EQ(records[1].type, ValueType::kDeletion);
+  EXPECT_EQ(records[2].value, ToBytes("2"));
+}
+
+TEST(WalTest, TornTailStopsReplayCleanly) {
+  MemEnv env;
+  {
+    auto w = WalWriter::Open(&env, "wal");
+    ASSERT_TRUE((*w)->AddRecord(1, ValueType::kValue, ToBytes("good"),
+                                ToBytes("1")).ok());
+    ASSERT_TRUE((*w)->AddRecord(2, ValueType::kValue, ToBytes("torn"),
+                                ToBytes("2")).ok());
+  }
+  auto data = env.ReadFile("wal");
+  Bytes truncated(*data);
+  truncated.resize(truncated.size() - 3);  // Tear the last record.
+  auto f = env.NewWritableFile("wal");
+  ASSERT_TRUE((*f)->Append(truncated).ok());
+
+  std::vector<WalRecord> records;
+  auto max_seq = WalReplay(&env, "wal",
+                           [&](const WalRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(max_seq.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, ToBytes("good"));
+}
+
+TEST(DbTest, PutGetDelete) {
+  MemEnv env;
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Put(ToBytes("k1"), ToBytes("v1")).ok());
+  ASSERT_TRUE((*db)->Put(ToBytes("k2"), ToBytes("v2")).ok());
+
+  auto v = (*db)->Get(ToBytes("k1"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, ToBytes("v1"));
+
+  ASSERT_TRUE((*db)->Delete(ToBytes("k1")).ok());
+  EXPECT_FALSE((*db)->Get(ToBytes("k1")).ok());
+  EXPECT_TRUE((*db)->Get(ToBytes("k2")).ok());
+}
+
+TEST(DbTest, GetSpansMemtableAndTables) {
+  MemEnv env;
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE((*db)->Put(ToBytes("flushed"), ToBytes("on-disk")).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put(ToBytes("fresh"), ToBytes("in-mem")).ok());
+
+  EXPECT_EQ(*(*db)->Get(ToBytes("flushed")), ToBytes("on-disk"));
+  EXPECT_EQ(*(*db)->Get(ToBytes("fresh")), ToBytes("in-mem"));
+}
+
+TEST(DbTest, TombstoneMasksFlushedValue) {
+  MemEnv env;
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE((*db)->Put(ToBytes("k"), ToBytes("v")).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Delete(ToBytes("k")).ok());
+  EXPECT_FALSE((*db)->Get(ToBytes("k")).ok());
+  // Still deleted after the tombstone itself is flushed.
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_FALSE((*db)->Get(ToBytes("k")).ok());
+  // And after full compaction drops the tombstone.
+  ASSERT_TRUE((*db)->CompactAll().ok());
+  EXPECT_FALSE((*db)->Get(ToBytes("k")).ok());
+}
+
+TEST(DbTest, CompactionPreservesNewestVersions) {
+  MemEnv env;
+  DbOptions options;
+  options.l0_compaction_trigger = 2;
+  auto db = Db::Open(&env, "db", options);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      std::string key = "key" + std::to_string(i);
+      std::string value = "round" + std::to_string(round);
+      ASSERT_TRUE((*db)->Put(ToBytes(key), ToBytes(value)).ok());
+    }
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto v = (*db)->Get(ToBytes("key" + std::to_string(i)));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, ToBytes("round4"));
+  }
+}
+
+TEST(DbTest, RecoveryFromWal) {
+  MemEnv env;
+  {
+    auto db = Db::Open(&env, "db");
+    ASSERT_TRUE((*db)->Put(ToBytes("persist"), ToBytes("me")).ok());
+    ASSERT_TRUE((*db)->Put(ToBytes("and"), ToBytes("me-too")).ok());
+    // No flush: data lives only in WAL + memtable. Drop the Db.
+  }
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto v = (*db)->Get(ToBytes("persist"));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, ToBytes("me"));
+  EXPECT_EQ(*(*db)->Get(ToBytes("and")), ToBytes("me-too"));
+}
+
+TEST(DbTest, RecoveryAfterFlushAndReopen) {
+  MemEnv env;
+  {
+    auto db = Db::Open(&env, "db");
+    ASSERT_TRUE((*db)->Put(ToBytes("a"), ToBytes("1")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Put(ToBytes("b"), ToBytes("2")).ok());
+  }
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(*(*db)->Get(ToBytes("a")), ToBytes("1"));
+  EXPECT_EQ(*(*db)->Get(ToBytes("b")), ToBytes("2"));
+}
+
+TEST(DbTest, ScanRangeAndOrdering) {
+  MemEnv env;
+  auto db = Db::Open(&env, "db");
+  ASSERT_TRUE((*db)->Put(ToBytes("d"), ToBytes("4")).ok());
+  ASSERT_TRUE((*db)->Put(ToBytes("a"), ToBytes("1")).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put(ToBytes("c"), ToBytes("3")).ok());
+  ASSERT_TRUE((*db)->Put(ToBytes("b"), ToBytes("2")).ok());
+  ASSERT_TRUE((*db)->Delete(ToBytes("c")).ok());
+
+  std::vector<std::string> keys;
+  ASSERT_TRUE((*db)
+                  ->Scan(ToBytes("a"), ToBytes("d"),
+                         [&](ByteView k, ByteView) {
+                           keys.push_back(k.ToString());
+                         })
+                  .ok());
+  ASSERT_EQ(keys.size(), 2u);  // c deleted, d excluded (end-exclusive).
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+class DbRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DbRandomTest, MatchesReferenceMapUnderChurn) {
+  // Property: under random puts/deletes/flushes/compactions/reopens, the Db
+  // always matches an in-memory reference map.
+  Rng rng(GetParam());
+  MemEnv env;
+  DbOptions options;
+  options.write_buffer_size = 4 << 10;  // Force frequent flushes.
+  options.l0_compaction_trigger = 3;
+  auto db_result = Db::Open(&env, "db", options);
+  ASSERT_TRUE(db_result.ok());
+  std::unique_ptr<Db> db = std::move(db_result).value();
+  std::map<std::string, std::string> reference;
+
+  for (int op = 0; op < 3000; ++op) {
+    double dice = rng.NextDouble();
+    std::string key = "k" + std::to_string(rng.NextBelow(150));
+    if (dice < 0.6) {
+      std::string value = "v" + std::to_string(rng.NextU64() % 1000000);
+      ASSERT_TRUE(db->Put(ToBytes(key), ToBytes(value)).ok());
+      reference[key] = value;
+    } else if (dice < 0.85) {
+      ASSERT_TRUE(db->Delete(ToBytes(key)).ok());
+      reference.erase(key);
+    } else if (dice < 0.95) {
+      auto v = db->Get(ToBytes(key));
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(v.ok()) << key;
+      } else {
+        ASSERT_TRUE(v.ok()) << key;
+        EXPECT_EQ(*v, ToBytes(it->second));
+      }
+    } else if (dice < 0.98) {
+      ASSERT_TRUE(db->Flush().ok());
+    } else {
+      // Reopen (crash-recovery path).
+      db.reset();
+      auto reopened = Db::Open(&env, "db", options);
+      ASSERT_TRUE(reopened.ok());
+      db = std::move(reopened).value();
+    }
+  }
+
+  // Final full comparison via Scan.
+  std::map<std::string, std::string> scanned;
+  ASSERT_TRUE(db->Scan(ByteView(), ByteView(),
+                       [&](ByteView k, ByteView v) {
+                         scanned[k.ToString()] = v.ToString();
+                       })
+                  .ok());
+  EXPECT_EQ(scanned, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbRandomTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace porygon::storage

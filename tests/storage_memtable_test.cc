@@ -1,0 +1,159 @@
+// MemTable (arena-backed skiplist) unit and property tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "storage/arena.h"
+#include "storage/memtable.h"
+
+namespace porygon::storage {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDistinctAndAligned) {
+  Arena arena;
+  char* a = arena.Allocate(13);
+  char* b = arena.Allocate(7);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena;
+  char* small = arena.Allocate(8);
+  char* large = arena.Allocate(1 << 20);
+  char* small2 = arena.Allocate(8);
+  EXPECT_NE(large, nullptr);
+  // The current small block survives a large allocation.
+  EXPECT_EQ(small + 8, small2);
+}
+
+TEST(MemTableTest, BasicPutGet) {
+  MemTable mt;
+  mt.Add(1, ValueType::kValue, ToBytes("key"), ToBytes("value"));
+  bool tombstone = false;
+  auto r = mt.Get(ToBytes("key"), &tombstone);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("value"));
+  EXPECT_FALSE(tombstone);
+}
+
+TEST(MemTableTest, MissingKey) {
+  MemTable mt;
+  mt.Add(1, ValueType::kValue, ToBytes("a"), ToBytes("1"));
+  bool tombstone = false;
+  auto r = mt.Get(ToBytes("b"), &tombstone);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(tombstone);
+}
+
+TEST(MemTableTest, NewestVersionWins) {
+  MemTable mt;
+  mt.Add(1, ValueType::kValue, ToBytes("k"), ToBytes("old"));
+  mt.Add(2, ValueType::kValue, ToBytes("k"), ToBytes("new"));
+  bool tombstone = false;
+  auto r = mt.Get(ToBytes("k"), &tombstone);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("new"));
+}
+
+TEST(MemTableTest, TombstoneMasksOlderValue) {
+  MemTable mt;
+  mt.Add(1, ValueType::kValue, ToBytes("k"), ToBytes("v"));
+  mt.Add(2, ValueType::kDeletion, ToBytes("k"), ByteView());
+  bool tombstone = false;
+  auto r = mt.Get(ToBytes("k"), &tombstone);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(tombstone);
+}
+
+TEST(MemTableTest, ValueAfterTombstoneResurrects) {
+  MemTable mt;
+  mt.Add(1, ValueType::kDeletion, ToBytes("k"), ByteView());
+  mt.Add(2, ValueType::kValue, ToBytes("k"), ToBytes("back"));
+  bool tombstone = false;
+  auto r = mt.Get(ToBytes("k"), &tombstone);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ToBytes("back"));
+}
+
+TEST(MemTableTest, IterationIsSortedNewestFirstPerKey) {
+  MemTable mt;
+  mt.Add(3, ValueType::kValue, ToBytes("b"), ToBytes("b3"));
+  mt.Add(1, ValueType::kValue, ToBytes("a"), ToBytes("a1"));
+  mt.Add(4, ValueType::kValue, ToBytes("a"), ToBytes("a4"));
+  mt.Add(2, ValueType::kValue, ToBytes("c"), ToBytes("c2"));
+
+  std::vector<std::pair<std::string, uint64_t>> seen;
+  auto it = mt.NewIterator();
+  it.SeekToFirst();
+  while (it.Valid()) {
+    seen.emplace_back(it.key().ToString(), it.sequence());
+    it.Next();
+  }
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, uint64_t>{"a", 4}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, uint64_t>{"a", 1}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, uint64_t>{"b", 3}));
+  EXPECT_EQ(seen[3], (std::pair<std::string, uint64_t>{"c", 2}));
+}
+
+TEST(MemTableTest, SeekPositionsAtOrAfter) {
+  MemTable mt;
+  mt.Add(1, ValueType::kValue, ToBytes("apple"), ToBytes("1"));
+  mt.Add(2, ValueType::kValue, ToBytes("cherry"), ToBytes("2"));
+  auto it = mt.NewIterator();
+  it.Seek(ToBytes("banana"));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().ToString(), "cherry");
+  it.Seek(ToBytes("zebra"));
+  EXPECT_FALSE(it.Valid());
+}
+
+class MemTableRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemTableRandomTest, MatchesReferenceMap) {
+  // Property: a memtable behaves exactly like a map applied in sequence
+  // order, for arbitrary interleavings of puts and deletes.
+  Rng rng(GetParam());
+  MemTable mt;
+  std::map<std::string, std::pair<bool, std::string>> reference;  // live?, val
+
+  uint64_t seq = 0;
+  for (int op = 0; op < 2000; ++op) {
+    std::string key = "key" + std::to_string(rng.NextBelow(200));
+    if (rng.NextBernoulli(0.25)) {
+      mt.Add(++seq, ValueType::kDeletion, ToBytes(key), ByteView());
+      reference[key] = {false, ""};
+    } else {
+      std::string value = "v" + std::to_string(rng.NextU64() % 100000);
+      mt.Add(++seq, ValueType::kValue, ToBytes(key), ToBytes(value));
+      reference[key] = {true, value};
+    }
+  }
+
+  for (const auto& [key, expected] : reference) {
+    bool tombstone = false;
+    auto r = mt.Get(ToBytes(key), &tombstone);
+    if (expected.first) {
+      ASSERT_TRUE(r.ok()) << key;
+      EXPECT_EQ(r->data() != nullptr ? std::string(r->begin(), r->end())
+                                     : std::string(),
+                expected.second);
+    } else {
+      EXPECT_FALSE(r.ok()) << key;
+      EXPECT_TRUE(tombstone) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemTableRandomTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace porygon::storage
