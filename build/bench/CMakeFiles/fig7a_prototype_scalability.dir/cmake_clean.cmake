@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_prototype_scalability.dir/fig7a_prototype_scalability.cc.o"
+  "CMakeFiles/fig7a_prototype_scalability.dir/fig7a_prototype_scalability.cc.o.d"
+  "fig7a_prototype_scalability"
+  "fig7a_prototype_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_prototype_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_simulation_scalability.dir/fig7b_simulation_scalability.cc.o"
+  "CMakeFiles/fig7b_simulation_scalability.dir/fig7b_simulation_scalability.cc.o.d"
+  "fig7b_simulation_scalability"
+  "fig7b_simulation_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_simulation_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_ablation_prototype.dir/fig7c_ablation_prototype.cc.o"
+  "CMakeFiles/fig7c_ablation_prototype.dir/fig7c_ablation_prototype.cc.o.d"
+  "fig7c_ablation_prototype"
+  "fig7c_ablation_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_ablation_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

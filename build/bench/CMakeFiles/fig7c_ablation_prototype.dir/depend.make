@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7c_ablation_prototype.
+# This may be replaced when dependencies are built.

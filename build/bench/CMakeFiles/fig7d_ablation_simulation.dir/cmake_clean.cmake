@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_ablation_simulation.dir/fig7d_ablation_simulation.cc.o"
+  "CMakeFiles/fig7d_ablation_simulation.dir/fig7d_ablation_simulation.cc.o.d"
+  "fig7d_ablation_simulation"
+  "fig7d_ablation_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_ablation_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_comparison_prototype.dir/fig8a_comparison_prototype.cc.o"
+  "CMakeFiles/fig8a_comparison_prototype.dir/fig8a_comparison_prototype.cc.o.d"
+  "fig8a_comparison_prototype"
+  "fig8a_comparison_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_comparison_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_comparison_simulation.dir/fig8b_comparison_simulation.cc.o"
+  "CMakeFiles/fig8b_comparison_simulation.dir/fig8b_comparison_simulation.cc.o.d"
+  "fig8b_comparison_simulation"
+  "fig8b_comparison_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_comparison_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_throughput_latency.dir/fig8c_throughput_latency.cc.o"
+  "CMakeFiles/fig8c_throughput_latency.dir/fig8c_throughput_latency.cc.o.d"
+  "fig8c_throughput_latency"
+  "fig8c_throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_churn.dir/fig8d_churn.cc.o"
+  "CMakeFiles/fig8d_churn.dir/fig8d_churn.cc.o.d"
+  "fig8d_churn"
+  "fig8d_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

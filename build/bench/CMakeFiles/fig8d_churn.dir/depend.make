@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8d_churn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_storage.dir/fig9a_storage.cc.o"
+  "CMakeFiles/fig9a_storage.dir/fig9a_storage.cc.o.d"
+  "fig9a_storage"
+  "fig9a_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

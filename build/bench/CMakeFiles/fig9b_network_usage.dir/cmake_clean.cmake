@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_network_usage.dir/fig9b_network_usage.cc.o"
+  "CMakeFiles/fig9b_network_usage.dir/fig9b_network_usage.cc.o.d"
+  "fig9b_network_usage"
+  "fig9b_network_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_network_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9b_network_usage.
+# This may be replaced when dependencies are built.

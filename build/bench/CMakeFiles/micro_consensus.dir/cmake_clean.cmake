@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_consensus.dir/micro_consensus.cc.o"
+  "CMakeFiles/micro_consensus.dir/micro_consensus.cc.o.d"
+  "micro_consensus"
+  "micro_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

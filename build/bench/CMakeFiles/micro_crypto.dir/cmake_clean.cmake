@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crypto.dir/micro_crypto.cc.o"
+  "CMakeFiles/micro_crypto.dir/micro_crypto.cc.o.d"
+  "micro_crypto"
+  "micro_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

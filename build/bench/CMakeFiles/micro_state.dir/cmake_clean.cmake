@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_state.dir/micro_state.cc.o"
+  "CMakeFiles/micro_state.dir/micro_state.cc.o.d"
+  "micro_state"
+  "micro_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cross_shard_ratio.dir/table1_cross_shard_ratio.cc.o"
+  "CMakeFiles/table1_cross_shard_ratio.dir/table1_cross_shard_ratio.cc.o.d"
+  "table1_cross_shard_ratio"
+  "table1_cross_shard_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cross_shard_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

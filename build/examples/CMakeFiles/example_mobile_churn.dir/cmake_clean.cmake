@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mobile_churn.dir/mobile_churn.cc.o"
+  "CMakeFiles/example_mobile_churn.dir/mobile_churn.cc.o.d"
+  "example_mobile_churn"
+  "example_mobile_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mobile_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

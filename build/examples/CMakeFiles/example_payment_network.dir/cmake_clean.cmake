@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_payment_network.dir/payment_network.cc.o"
+  "CMakeFiles/example_payment_network.dir/payment_network.cc.o.d"
+  "example_payment_network"
+  "example_payment_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_payment_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stateless_audit.dir/stateless_audit.cc.o"
+  "CMakeFiles/example_stateless_audit.dir/stateless_audit.cc.o.d"
+  "example_stateless_audit"
+  "example_stateless_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stateless_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/blockene.cc" "src/CMakeFiles/porygon.dir/baselines/blockene.cc.o" "gcc" "src/CMakeFiles/porygon.dir/baselines/blockene.cc.o.d"
+  "/root/repo/src/baselines/byshard.cc" "src/CMakeFiles/porygon.dir/baselines/byshard.cc.o" "gcc" "src/CMakeFiles/porygon.dir/baselines/byshard.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/porygon.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/codec.cc" "src/CMakeFiles/porygon.dir/common/codec.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/codec.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/porygon.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/porygon.dir/common/log.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/porygon.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/porygon.dir/common/status.cc.o" "gcc" "src/CMakeFiles/porygon.dir/common/status.cc.o.d"
+  "/root/repo/src/consensus/ba_star.cc" "src/CMakeFiles/porygon.dir/consensus/ba_star.cc.o" "gcc" "src/CMakeFiles/porygon.dir/consensus/ba_star.cc.o.d"
+  "/root/repo/src/core/committee.cc" "src/CMakeFiles/porygon.dir/core/committee.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/committee.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/CMakeFiles/porygon.dir/core/coordinator.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/coordinator.cc.o.d"
+  "/root/repo/src/core/execution.cc" "src/CMakeFiles/porygon.dir/core/execution.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/execution.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/CMakeFiles/porygon.dir/core/messages.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/messages.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/porygon.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/stateless_node.cc" "src/CMakeFiles/porygon.dir/core/stateless_node.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/stateless_node.cc.o.d"
+  "/root/repo/src/core/storage_node.cc" "src/CMakeFiles/porygon.dir/core/storage_node.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/storage_node.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/porygon.dir/core/system.cc.o" "gcc" "src/CMakeFiles/porygon.dir/core/system.cc.o.d"
+  "/root/repo/src/crypto/ed25519.cc" "src/CMakeFiles/porygon.dir/crypto/ed25519.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/ed25519.cc.o.d"
+  "/root/repo/src/crypto/fe25519.cc" "src/CMakeFiles/porygon.dir/crypto/fe25519.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/fe25519.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/porygon.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/provider.cc" "src/CMakeFiles/porygon.dir/crypto/provider.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/provider.cc.o.d"
+  "/root/repo/src/crypto/sc25519.cc" "src/CMakeFiles/porygon.dir/crypto/sc25519.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/sc25519.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/porygon.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/sha512.cc" "src/CMakeFiles/porygon.dir/crypto/sha512.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/sha512.cc.o.d"
+  "/root/repo/src/crypto/vrf.cc" "src/CMakeFiles/porygon.dir/crypto/vrf.cc.o" "gcc" "src/CMakeFiles/porygon.dir/crypto/vrf.cc.o.d"
+  "/root/repo/src/net/event_queue.cc" "src/CMakeFiles/porygon.dir/net/event_queue.cc.o" "gcc" "src/CMakeFiles/porygon.dir/net/event_queue.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/porygon.dir/net/network.cc.o" "gcc" "src/CMakeFiles/porygon.dir/net/network.cc.o.d"
+  "/root/repo/src/simulation/model.cc" "src/CMakeFiles/porygon.dir/simulation/model.cc.o" "gcc" "src/CMakeFiles/porygon.dir/simulation/model.cc.o.d"
+  "/root/repo/src/state/account.cc" "src/CMakeFiles/porygon.dir/state/account.cc.o" "gcc" "src/CMakeFiles/porygon.dir/state/account.cc.o.d"
+  "/root/repo/src/state/sharded_state.cc" "src/CMakeFiles/porygon.dir/state/sharded_state.cc.o" "gcc" "src/CMakeFiles/porygon.dir/state/sharded_state.cc.o.d"
+  "/root/repo/src/state/smt.cc" "src/CMakeFiles/porygon.dir/state/smt.cc.o" "gcc" "src/CMakeFiles/porygon.dir/state/smt.cc.o.d"
+  "/root/repo/src/state/view.cc" "src/CMakeFiles/porygon.dir/state/view.cc.o" "gcc" "src/CMakeFiles/porygon.dir/state/view.cc.o.d"
+  "/root/repo/src/storage/arena.cc" "src/CMakeFiles/porygon.dir/storage/arena.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/arena.cc.o.d"
+  "/root/repo/src/storage/bloom.cc" "src/CMakeFiles/porygon.dir/storage/bloom.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/bloom.cc.o.d"
+  "/root/repo/src/storage/db.cc" "src/CMakeFiles/porygon.dir/storage/db.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/db.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/porygon.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/CMakeFiles/porygon.dir/storage/memtable.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/memtable.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/CMakeFiles/porygon.dir/storage/sstable.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/sstable.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/porygon.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/porygon.dir/storage/wal.cc.o.d"
+  "/root/repo/src/tx/blocks.cc" "src/CMakeFiles/porygon.dir/tx/blocks.cc.o" "gcc" "src/CMakeFiles/porygon.dir/tx/blocks.cc.o.d"
+  "/root/repo/src/tx/transaction.cc" "src/CMakeFiles/porygon.dir/tx/transaction.cc.o" "gcc" "src/CMakeFiles/porygon.dir/tx/transaction.cc.o.d"
+  "/root/repo/src/tx/txpool.cc" "src/CMakeFiles/porygon.dir/tx/txpool.cc.o" "gcc" "src/CMakeFiles/porygon.dir/tx/txpool.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/porygon.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/porygon.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

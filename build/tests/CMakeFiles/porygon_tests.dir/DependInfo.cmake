@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/porygon_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/porygon_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/consensus_test.cc" "tests/CMakeFiles/porygon_tests.dir/consensus_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/consensus_test.cc.o.d"
+  "/root/repo/tests/core_committee_test.cc" "tests/CMakeFiles/porygon_tests.dir/core_committee_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/core_committee_test.cc.o.d"
+  "/root/repo/tests/core_coordinator_test.cc" "tests/CMakeFiles/porygon_tests.dir/core_coordinator_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/core_coordinator_test.cc.o.d"
+  "/root/repo/tests/core_execution_test.cc" "tests/CMakeFiles/porygon_tests.dir/core_execution_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/core_execution_test.cc.o.d"
+  "/root/repo/tests/core_messages_test.cc" "tests/CMakeFiles/porygon_tests.dir/core_messages_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/core_messages_test.cc.o.d"
+  "/root/repo/tests/crypto_ed25519_test.cc" "tests/CMakeFiles/porygon_tests.dir/crypto_ed25519_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/crypto_ed25519_test.cc.o.d"
+  "/root/repo/tests/crypto_hash_test.cc" "tests/CMakeFiles/porygon_tests.dir/crypto_hash_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/crypto_hash_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/porygon_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/porygon_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/state_test.cc" "tests/CMakeFiles/porygon_tests.dir/state_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/state_test.cc.o.d"
+  "/root/repo/tests/state_view_test.cc" "tests/CMakeFiles/porygon_tests.dir/state_view_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/state_view_test.cc.o.d"
+  "/root/repo/tests/storage_batch_test.cc" "tests/CMakeFiles/porygon_tests.dir/storage_batch_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/storage_batch_test.cc.o.d"
+  "/root/repo/tests/storage_db_test.cc" "tests/CMakeFiles/porygon_tests.dir/storage_db_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/storage_db_test.cc.o.d"
+  "/root/repo/tests/storage_extra_test.cc" "tests/CMakeFiles/porygon_tests.dir/storage_extra_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/storage_extra_test.cc.o.d"
+  "/root/repo/tests/storage_memtable_test.cc" "tests/CMakeFiles/porygon_tests.dir/storage_memtable_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/storage_memtable_test.cc.o.d"
+  "/root/repo/tests/system_extra_test.cc" "tests/CMakeFiles/porygon_tests.dir/system_extra_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/system_extra_test.cc.o.d"
+  "/root/repo/tests/system_integration_test.cc" "tests/CMakeFiles/porygon_tests.dir/system_integration_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/system_integration_test.cc.o.d"
+  "/root/repo/tests/tx_blocks_test.cc" "tests/CMakeFiles/porygon_tests.dir/tx_blocks_test.cc.o" "gcc" "tests/CMakeFiles/porygon_tests.dir/tx_blocks_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/porygon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
