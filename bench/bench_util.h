@@ -36,35 +36,94 @@ inline std::string FmtInt(double v) {
   return buf;
 }
 
-/// Drives a Porygon prototype run under saturating load: before each round,
-/// tops the mempool up so every shard can fill its blocks, then runs one
-/// round. Returns the sustained TPS over the measured window.
-struct PrototypeRun {
+inline double MeanOf(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double v : xs) sum += v;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Headline numbers for one Porygon run, read off the metrics facade.
+struct RunSummary {
   double tps = 0;
   double block_latency_s = 0;
   double commit_latency_s = 0;
   double user_latency_s = 0;
+  double user_latency_p99_s = 0;
+  uint64_t committed_txs = 0;
 };
 
-inline PrototypeRun RunSaturated(core::PorygonSystem* sys,
-                                 workload::WorkloadGenerator* gen,
-                                 int rounds, size_t txs_per_round) {
+/// Reads the headline numbers for a finished run from the system's
+/// metrics facade.
+inline RunSummary Summarize(const core::PorygonSystem& sys) {
+  const core::SystemMetrics m = sys.metrics();
+  RunSummary out;
+  out.tps = m.Tps(sys.sim_seconds());
+  out.block_latency_s = m.BlockLatency().mean;
+  out.commit_latency_s = m.CommitLatency().mean;
+  out.user_latency_s = m.UserLatency().mean;
+  out.user_latency_p99_s = m.UserLatency().p99;
+  out.committed_txs = m.committed_txs();
+  return out;
+}
+
+/// Drives a Porygon prototype run under saturating load: before each round,
+/// tops the mempool up so every shard can fill its blocks, then runs one
+/// round. Returns the sustained TPS over the measured window.
+inline RunSummary RunSaturated(core::PorygonSystem* sys,
+                               workload::WorkloadGenerator* gen, int rounds,
+                               size_t txs_per_round) {
   // Warmup fills the pipeline (first commits lag by the pipeline depth).
   const int warmup = 4;
   for (int r = 0; r < rounds + warmup; ++r) {
     for (const auto& t : gen->Batch(txs_per_round)) {
-      sys->SubmitTransaction(t);
+      (void)sys->SubmitTransaction(t);
     }
     sys->Run(1);
   }
-  const auto& m = sys->metrics();
-  PrototypeRun out;
-  double duration = sys->sim_seconds();
-  out.tps = m.Tps(duration);
-  out.block_latency_s = core::SystemMetrics::Mean(m.block_latencies_s);
-  out.commit_latency_s = core::SystemMetrics::Mean(m.commit_latencies_s);
-  out.user_latency_s = core::SystemMetrics::Mean(m.user_latencies_s);
-  return out;
+  return Summarize(*sys);
+}
+
+/// Drives a Porygon run open-loop: each round offers `offered_tps` worth
+/// of transactions sized by the estimated round duration, regardless of
+/// whether the system keeps up.
+inline RunSummary RunOpenLoop(core::PorygonSystem* sys,
+                              workload::WorkloadGenerator* gen, int rounds,
+                              double offered_tps, double est_round_s) {
+  const int warmup = 4;
+  size_t n = static_cast<size_t>(offered_tps * est_round_s);
+  for (int r = 0; r < rounds + warmup; ++r) {
+    for (const auto& t : gen->Batch(n)) (void)sys->SubmitTransaction(t);
+    sys->Run(1);
+  }
+  return Summarize(*sys);
+}
+
+/// Open-loop driver for the baseline systems (Blockene/ByShard), whose
+/// SubmitTransaction still returns bool and whose metrics are plain
+/// structs. Returns the achieved TPS.
+template <typename System>
+double DriveOpenLoopTps(System* sys, workload::WorkloadGenerator* gen,
+                        int rounds, size_t txs_per_round) {
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& t : gen->Batch(txs_per_round)) {
+      (void)sys->SubmitTransaction(t);
+    }
+    sys->Run(1);
+  }
+  return sys->metrics().Tps(sys->sim_seconds());
+}
+
+/// Dumps the system's full metrics registry as JSON to `path` (stdout on
+/// failure is silent: benches treat the export as best-effort).
+inline bool WriteMetricsJson(const core::PorygonSystem& sys,
+                             const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::string json = sys.metrics().ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
 }
 
 }  // namespace porygon::bench

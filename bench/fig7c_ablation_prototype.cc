@@ -11,7 +11,7 @@
 #include "bench_util.h"
 
 namespace {
-porygon::bench::PrototypeRun RunPorygonShards(int shard_bits, int nodes) {
+porygon::bench::RunSummary RunPorygonShards(int shard_bits, int nodes) {
   using namespace porygon;
   core::SystemOptions opt;
   opt.params.shard_bits = shard_bits;
@@ -53,12 +53,8 @@ int main() {
     sys.CreateAccounts(500'000, 1'000'000);
     workload::WorkloadGenerator gen(
         {.num_accounts = 500'000, .shard_bits = 0, .seed = 3});
-    for (int r = 0; r < 10; ++r) {
-      for (const auto& t : gen.Batch(2000)) sys.SubmitTransaction(t);
-      sys.Run(1);
-    }
-    bench::PrintRow({"1D:Baseline", "10",
-                     bench::FmtInt(sys.metrics().Tps(sys.sim_seconds()))});
+    double tps = bench::DriveOpenLoopTps(&sys, &gen, 10, 2000);
+    bench::PrintRow({"1D:Baseline", "10", bench::FmtInt(tps)});
   }
 
   auto two_d = RunPorygonShards(/*shard_bits=*/0, /*nodes=*/13);

@@ -56,14 +56,8 @@ int main() {
                                        .shard_bits = shard_bits,
                                        .cross_shard_ratio = 0.1,
                                        .seed = 5});
-      for (int r = 0; r < 10; ++r) {
-        for (const auto& t :
-             gen.Batch(opt.block_tx_limit * static_cast<size_t>(shards))) {
-          sys.SubmitTransaction(t);
-        }
-        sys.Run(1);
-      }
-      byshard_tps = sys.metrics().Tps(sys.sim_seconds());
+      byshard_tps = bench::DriveOpenLoopTps(
+          &sys, &gen, 10, opt.block_tx_limit * static_cast<size_t>(shards));
     }
 
     double blockene_tps = 0;
@@ -77,13 +71,8 @@ int main() {
       sys.CreateAccounts(1'000'000, 1'000'000);
       workload::WorkloadGenerator gen(
           {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 5});
-      for (int r = 0; r < 10; ++r) {
-        for (const auto& t : gen.Batch(opt.block_tx_limit)) {
-          sys.SubmitTransaction(t);
-        }
-        sys.Run(1);
-      }
-      blockene_tps = sys.metrics().Tps(sys.sim_seconds());
+      blockene_tps =
+          bench::DriveOpenLoopTps(&sys, &gen, 10, opt.block_tx_limit);
     }
 
     bench::PrintRow({std::to_string(nodes), bench::FmtInt(porygon_tps),

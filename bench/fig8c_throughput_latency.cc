@@ -3,12 +3,17 @@
 // The paper observes Porygon sustaining the highest load: its latency
 // starts higher (storage<->stateless hops) but stays moderate while its
 // capacity exceeds ByShard's and Blockene's.
+//
+// Also writes the full metrics registry of the last (highest-load) Porygon
+// run as JSON — per-phase network bytes, phase-duration histograms with
+// p50/p95/p99, and storage-engine counters — to argv[1], defaulting to
+// fig8c.metrics.json.
 
 #include "baselines/blockene.h"
 #include "baselines/byshard.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace porygon;
   bench::PrintHeader(
       "Fig 8(c): throughput vs latency under varied submission rates "
@@ -17,6 +22,8 @@ int main() {
 
   const int shard_bits = 3;  // 8 shards.
   const int rounds = 8;
+  const std::string metrics_path =
+      argc > 1 ? argv[1] : "fig8c.metrics.json";
 
   for (double offered : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
     core::SystemOptions opt;
@@ -35,18 +42,13 @@ int main() {
                                      .shard_bits = shard_bits,
                                      .cross_shard_ratio = 0.1,
                                      .seed = 6});
-    // Open-loop: submit `offered` TPS worth of load per (estimated) round.
-    const double est_round_s = 5.0;
-    for (int r = 0; r < rounds + 4; ++r) {
-      size_t n = static_cast<size_t>(offered * est_round_s);
-      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
-      sys.Run(1);
+    auto r = bench::RunOpenLoop(&sys, &gen, rounds, offered,
+                                /*est_round_s=*/5.0);
+    bench::PrintRow({"Porygon", bench::FmtInt(offered), bench::FmtInt(r.tps),
+                     bench::Fmt(r.user_latency_s)});
+    if (offered == 8000.0 && bench::WriteMetricsJson(sys, metrics_path)) {
+      std::printf("  (metrics export: %s)\n", metrics_path.c_str());
     }
-    const auto& m = sys.metrics();
-    bench::PrintRow({"Porygon", bench::FmtInt(offered),
-                     bench::FmtInt(m.Tps(sys.sim_seconds())),
-                     bench::Fmt(core::SystemMetrics::Mean(
-                         m.user_latencies_s))});
   }
 
   for (double offered : {500.0, 1000.0, 2000.0, 4000.0}) {
@@ -61,21 +63,10 @@ int main() {
                                      .shard_bits = shard_bits,
                                      .cross_shard_ratio = 0.1,
                                      .seed = 6});
-    const double est_round_s = 4.0;
-    for (int r = 0; r < 10; ++r) {
-      size_t n = static_cast<size_t>(offered * est_round_s);
-      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
-      sys.Run(1);
-    }
-    const auto& m = sys.metrics();
-    double mean_user = 0;
-    if (!m.user_latencies_s.empty()) {
-      for (double v : m.user_latencies_s) mean_user += v;
-      mean_user /= m.user_latencies_s.size();
-    }
-    bench::PrintRow({"ByShard", bench::FmtInt(offered),
-                     bench::FmtInt(m.Tps(sys.sim_seconds())),
-                     bench::Fmt(mean_user)});
+    double tps = bench::DriveOpenLoopTps(
+        &sys, &gen, 10, static_cast<size_t>(offered * 4.0));
+    bench::PrintRow({"ByShard", bench::FmtInt(offered), bench::FmtInt(tps),
+                     bench::Fmt(bench::MeanOf(sys.metrics().user_latencies_s))});
   }
 
   for (double offered : {250.0, 500.0, 1000.0}) {
@@ -88,21 +79,10 @@ int main() {
     sys.CreateAccounts(1'000'000, 1'000'000);
     workload::WorkloadGenerator gen(
         {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 6});
-    const double est_round_s = 7.0;
-    for (int r = 0; r < 10; ++r) {
-      size_t n = static_cast<size_t>(offered * est_round_s);
-      for (const auto& t : gen.Batch(n)) sys.SubmitTransaction(t);
-      sys.Run(1);
-    }
-    const auto& m = sys.metrics();
-    double mean_user = 0;
-    if (!m.user_latencies_s.empty()) {
-      for (double v : m.user_latencies_s) mean_user += v;
-      mean_user /= m.user_latencies_s.size();
-    }
-    bench::PrintRow({"Blockene", bench::FmtInt(offered),
-                     bench::FmtInt(m.Tps(sys.sim_seconds())),
-                     bench::Fmt(mean_user)});
+    double tps = bench::DriveOpenLoopTps(
+        &sys, &gen, 10, static_cast<size_t>(offered * 7.0));
+    bench::PrintRow({"Blockene", bench::FmtInt(offered), bench::FmtInt(tps),
+                     bench::Fmt(bench::MeanOf(sys.metrics().user_latencies_s))});
   }
   return 0;
 }

@@ -55,11 +55,7 @@ int main() {
       sys.CreateAccounts(500'000, 1'000'000);
       workload::WorkloadGenerator gen(
           {.num_accounts = 500'000, .shard_bits = 0, .seed = 8});
-      for (int r = 0; r < 14; ++r) {
-        for (const auto& t : gen.Batch(2000)) sys.SubmitTransaction(t);
-        sys.Run(1);
-      }
-      blockene_tps = sys.metrics().Tps(sys.sim_seconds());
+      blockene_tps = bench::DriveOpenLoopTps(&sys, &gen, 14, 2000);
       blockene_empty = sys.metrics().empty_rounds;
     }
 

@@ -51,19 +51,17 @@ int main(int argc, char** argv) {
     system.Run(1);
   }
 
-  const core::SystemMetrics& m = system.metrics();
+  const core::SystemMetrics m = system.metrics();
   double duration = system.sim_seconds();
   std::printf("\nsimulated time:        %.1f s\n", duration);
   std::printf("sustained throughput:  %.0f TPS\n", m.Tps(duration));
-  std::printf("block interval:        %.2f s\n",
-              core::SystemMetrics::Mean(m.block_latencies_s));
-  std::printf("tx commit latency:     %.2f s\n",
-              core::SystemMetrics::Mean(m.commit_latencies_s));
-  std::printf("user-perceived:        %.2f s\n",
-              core::SystemMetrics::Mean(m.user_latencies_s));
+  std::printf("block interval:        %.2f s\n", m.BlockLatency().mean);
+  std::printf("tx commit latency:     %.2f s\n", m.CommitLatency().mean);
+  std::printf("user-perceived:        %.2f s (p99 %.2f s)\n",
+              m.UserLatency().mean, m.UserLatency().p99);
   std::printf("conflict discards:     %lu\n",
-              static_cast<unsigned long>(m.discarded_txs));
+              static_cast<unsigned long>(m.discarded_txs()));
   std::printf("invalid (nonce/funds): %lu\n",
-              static_cast<unsigned long>(m.failed_txs));
+              static_cast<unsigned long>(m.failed_txs()));
   return 0;
 }

@@ -39,7 +39,12 @@ int main() {
   intra.to = 4;
   intra.amount = 250;
   intra.nonce = 0;  // Client-side nonces are consecutive per sender.
-  system.SubmitTransaction(intra);
+  Status accepted = system.SubmitTransaction(intra);
+  std::printf("submit intra: %s\n", accepted.ToString().c_str());
+
+  // Resubmitting the same transfer is rejected up front.
+  std::printf("resubmit:     %s\n",
+              system.SubmitTransaction(intra).ToString().c_str());
 
   tx::Transaction cross;
   cross.from = 6;
@@ -54,15 +59,15 @@ int main() {
   system.Run(/*rounds=*/10);
 
   // 5. Inspect the results.
-  const core::SystemMetrics& m = system.metrics();
+  const core::SystemMetrics m = system.metrics();
   std::printf("committed blocks:        %lu\n",
-              static_cast<unsigned long>(m.committed_blocks));
+              static_cast<unsigned long>(m.committed_blocks()));
   std::printf("intra-shard txs:         %lu\n",
-              static_cast<unsigned long>(m.committed_intra_txs));
+              static_cast<unsigned long>(m.committed_intra_txs()));
   std::printf("cross-shard txs:         %lu\n",
-              static_cast<unsigned long>(m.committed_cross_txs));
+              static_cast<unsigned long>(m.committed_cross_txs()));
   std::printf("replay mismatches:       %lu (0 = all roots verified)\n",
-              static_cast<unsigned long>(m.replay_mismatches));
+              static_cast<unsigned long>(m.replay_mismatches()));
 
   const state::ShardedState& st = system.canonical_state();
   std::printf("account 2 balance: %lu (sent 250)\n",

@@ -81,6 +81,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -75,6 +75,7 @@ void BaStar::Propose(uint64_t instance, const crypto::Hash256& proposal) {
   started_ = true;
   instance_ = instance;
   proposal_ = proposal;
+  if (instruments_.instances != nullptr) instruments_.instances->Increment();
   CastVote(Vote::kSoft, proposal_);
 }
 
@@ -86,6 +87,7 @@ void BaStar::CastVote(uint8_t kind, const crypto::Hash256& value) {
   v.value = value;
   v.voter = identity_.public_key;
   v.signature = provider_->Sign(identity_.private_key, v.SigningBytes());
+  if (instruments_.votes_cast != nullptr) instruments_.votes_cast->Increment();
   Count(v);          // Count our own vote.
   broadcast_(v);     // Ship to the committee.
 }
@@ -97,6 +99,9 @@ void BaStar::OnVote(const Vote& vote) {
   if (!IsMember(vote.voter)) return;
   if (!provider_->Verify(vote.voter, vote.SigningBytes(), vote.signature)) {
     return;
+  }
+  if (instruments_.votes_received != nullptr) {
+    instruments_.votes_received->Increment();
   }
   Count(vote);
 }
@@ -122,6 +127,7 @@ void BaStar::Count(const Vote& vote) {
   if (vote.kind == Vote::kCert && !decided_) {
     decided_ = true;
     decision_value_ = vote.value;
+    if (instruments_.decisions != nullptr) instruments_.decisions->Increment();
     DecisionCert cert;
     cert.instance = instance_;
     cert.value = vote.value;
@@ -132,6 +138,7 @@ void BaStar::Count(const Vote& vote) {
 
 void BaStar::OnTimeout() {
   if (!started_ || decided_) return;
+  if (instruments_.timeouts != nullptr) instruments_.timeouts->Increment();
   ++step_;
   cert_voted_ = false;
   // Re-vote the value with the strongest soft support seen so far (our own

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "crypto/provider.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace porygon::consensus {
 
@@ -67,6 +68,19 @@ class BaStar {
          std::vector<crypto::PublicKey> committee, VoteBroadcast broadcast,
          Decision on_decision);
 
+  /// Registry counters an embedding system can hand every BA★ instance it
+  /// creates. All pointers optional; null entries are skipped.
+  struct Instruments {
+    obs::Counter* instances = nullptr;       ///< Propose() calls.
+    obs::Counter* votes_cast = nullptr;      ///< Own soft+cert votes sent.
+    obs::Counter* votes_received = nullptr;  ///< Verified peer votes.
+    obs::Counter* timeouts = nullptr;        ///< Retry steps taken.
+    obs::Counter* decisions = nullptr;       ///< Certificates emitted.
+  };
+  void set_instruments(const Instruments& instruments) {
+    instruments_ = instruments;
+  }
+
   /// Starts the instance by soft-voting `proposal` at step 0.
   void Propose(uint64_t instance, const crypto::Hash256& proposal);
 
@@ -90,6 +104,7 @@ class BaStar {
 
   crypto::CryptoProvider* provider_;
   crypto::KeyPair identity_;
+  Instruments instruments_;
   std::vector<crypto::PublicKey> committee_;
   VoteBroadcast broadcast_;
   Decision on_decision_;

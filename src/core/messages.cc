@@ -85,6 +85,37 @@ int PhaseOfKind(uint16_t kind) {
   }
 }
 
+const char* MsgKindName(uint16_t kind) {
+  switch (kind) {
+    case kMsgSubmitTx: return "submit_tx";
+    case kMsgTxBlock: return "tx_block";
+    case kMsgWitnessUpload: return "witness_upload";
+    case kMsgWitnessBundle: return "witness_bundle";
+    case kMsgRelay: return "relay";
+    case kMsgProposal: return "proposal";
+    case kMsgVote: return "vote";
+    case kMsgExecRequest: return "exec_request";
+    case kMsgStateRequest: return "state_request";
+    case kMsgStateResponse: return "state_response";
+    case kMsgExecResult: return "exec_result";
+    case kMsgCommit: return "commit";
+    case kMsgNewRound: return "new_round";
+    case kMsgRoleAnnounce: return "role_announce";
+    case kMsgGossip: return "gossip";
+    default: return "unknown";
+  }
+}
+
+const char* PhaseLabelName(int phase) {
+  switch (phase) {
+    case 0: return "witness";
+    case 1: return "ordering";
+    case 2: return "execution";
+    case 3: return "commit";
+    default: return "other";
+  }
+}
+
 Bytes RoleAnnounce::Encode() const {
   Encoder enc;
   enc.PutU64(round);

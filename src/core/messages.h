@@ -40,6 +40,14 @@ enum MsgKind : uint16_t {
 /// -1 = other (client traffic, gossip).
 int PhaseOfKind(uint16_t kind);
 
+/// Stable export-label name for a message kind ("tx_block", "vote", ...);
+/// unknown kinds map to "unknown".
+const char* MsgKindName(uint16_t kind);
+
+/// Stable export-label name for a PhaseOfKind() result ("witness",
+/// "ordering", "execution", "commit"; -1 maps to "other").
+const char* PhaseLabelName(int phase);
+
 /// A stateless node announcing its self-selected role for a round, with the
 /// VRF proof that storage nodes and peers verify (§IV-B3).
 struct RoleAnnounce {

@@ -331,6 +331,9 @@ void StatelessNodeActor::RunExecution() {
       result.intra_applied = cached->second.intra_applied[req.shard];
       result.cross_pre_executed = cached->second.cross_pre[req.shard];
       computed = true;
+      system_->obs_.exec_cache_hits->Increment();
+    } else {
+      system_->obs_.exec_cache_misses->Increment();
     }
   }
 
@@ -433,6 +436,9 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
   auto& pending =
       exec_results_[{result->exec_round, result->shard}];
   if (!pending.voters.insert(result->signer).second) return;
+  if (net_id_ == system_->leader_net_id_) {
+    system_->NoteExecPhaseEnd(result->exec_round);
+  }
 
   // Result key: (root, s_hash); identical execution -> identical key. Full
   // payloads (from the shard's lowest-ranked members) carry the S data.
@@ -582,6 +588,7 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
           BroadcastToOc(kMsgVote, v.Encode());
         },
         [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
+    ba_->set_instruments(system_->obs_.consensus);
     ba_->Propose(current_round_, hash);
     for (const auto& v : pending_votes_) ba_->OnVote(v);
     pending_votes_.clear();
@@ -630,6 +637,7 @@ void StatelessNodeActor::OnVote(const net::Message& msg) {
 
 void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
   decided_hash_ = cert.value;
+  system_->RecordOrderingDecision(cert.instance);
   // The leader publishes the committed block (with its certificate) to its
   // connected storage nodes; gossip spreads it.
   if (net_id_ != system_->leader_net_id_) return;

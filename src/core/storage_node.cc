@@ -27,7 +27,10 @@ StorageNodeActor::StorageNodeActor(PorygonSystem* system, int index,
       malicious_(malicious),
       pool_(system->params().shard_bits),
       env_(new storage::MemEnv()) {
-  auto db = storage::Db::Open(env_.get(), "db");
+  storage::DbOptions db_options;
+  db_options.metrics = system->metrics_registry();
+  db_options.metrics_node = std::to_string(index);
+  auto db = storage::Db::Open(env_.get(), "db", db_options);
   db_ = std::move(db).value();
 }
 
@@ -193,6 +196,8 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
                                   32);
     if (gossip_seen_.insert(key).second) {
       GossipToPeers(kMsgRoleAnnounce, msg.payload, msg.payload.size());
+    } else {
+      system_->obs_.gossip_dedup_hits->Increment();
     }
   }
 }
@@ -318,6 +323,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
   if (round >= 2 && system_->chain().size() > round - 1) {
     const tx::ProposalBlock& basis = system_->chain()[round - 1];
     const auto* exec_reg = system_->RegistryFor(round - 2);
+    bool exec_requests_sent = false;
     if (exec_reg != nullptr && !basis.shard_tx_blocks.empty()) {
       for (int shard = 0; shard < p.shard_count(); ++shard) {
         ExecRequest req;
@@ -349,9 +355,11 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
           m.payload = enc;
           m.wire_size = enc.size();
           net->Send(std::move(m));
+          exec_requests_sent = true;
         }
       }
     }
+    if (exec_requests_sent) system_->NoteExecPhaseStart(round - 1);
   }
 }
 
@@ -379,6 +387,7 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
     // Eligible for ordering: joins the batch of the round it completed in.
     uint64_t batch = std::max(stored->second.batch_round, up->round);
     witnessed_by_batch_[batch].push_back(up->proof.block_id);
+    system_->RecordWitnessReached(batch);
   }
 
   if (!from_gossip && !malicious_) {
@@ -388,6 +397,8 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
                     32);
     if (gossip_seen_.insert(gossip_key).second) {
       GossipToPeers(kMsgWitnessUpload, msg.payload, msg.payload.size());
+    } else {
+      system_->obs_.gossip_dedup_hits->Increment();
     }
   }
 }
@@ -466,7 +477,10 @@ void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
   auto block = tx::ProposalBlock::Decode(msg.payload);
   if (!block.ok()) return;
   std::string key = "cm" + std::to_string(block->round);
-  if (!gossip_seen_.insert(key).second) return;
+  if (!gossip_seen_.insert(key).second) {
+    system_->obs_.gossip_dedup_hits->Increment();
+    return;
+  }
 
   // Persist the proposal block (storage nodes keep the chain).
   (void)db_->Put(ToBytes("block/" + std::to_string(block->round)),

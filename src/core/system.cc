@@ -1,10 +1,12 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "common/codec.h"
 #include "common/log.h"
+#include "obs/export.h"
 
 namespace porygon::core {
 
@@ -51,9 +53,172 @@ class SnapshotForeignView : public state::StateView {
 };
 }  // namespace
 
+Status SystemOptions::Validate() const {
+  auto fraction = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (num_storage_nodes < 1) {
+    return Status::InvalidArgument("num_storage_nodes must be >= 1");
+  }
+  if (num_stateless_nodes < 1) {
+    return Status::InvalidArgument("num_stateless_nodes must be >= 1");
+  }
+  if (oc_size < 1) return Status::InvalidArgument("oc_size must be >= 1");
+  if (oc_size > num_stateless_nodes) {
+    return Status::InvalidArgument("oc_size exceeds num_stateless_nodes");
+  }
+  if (blocks_per_shard_round < 1) {
+    return Status::InvalidArgument("blocks_per_shard_round must be >= 1");
+  }
+  if (!fraction(malicious_storage_fraction)) {
+    return Status::InvalidArgument(
+        "malicious_storage_fraction outside [0,1]");
+  }
+  if (!fraction(malicious_stateless_fraction)) {
+    return Status::InvalidArgument(
+        "malicious_stateless_fraction outside [0,1]");
+  }
+  if (mean_session_s < 0) {
+    return Status::InvalidArgument("mean_session_s must be >= 0");
+  }
+  if (params.shard_bits < 0 || params.shard_bits > 20) {
+    return Status::InvalidArgument("shard_bits outside [0,20]");
+  }
+  if (!fraction(params.ordering_fraction)) {
+    return Status::InvalidArgument("ordering_fraction outside [0,1]");
+  }
+  if (!fraction(params.execution_fraction)) {
+    return Status::InvalidArgument("execution_fraction outside [0,1]");
+  }
+  if (params.witness_threshold < 1) {
+    return Status::InvalidArgument("witness_threshold must be >= 1");
+  }
+  if (params.execution_threshold < 1) {
+    return Status::InvalidArgument("execution_threshold must be >= 1");
+  }
+  if (params.block_tx_limit < 1) {
+    return Status::InvalidArgument("block_tx_limit must be >= 1");
+  }
+  if (params.storage_connections < 1) {
+    return Status::InvalidArgument("storage_connections must be >= 1");
+  }
+  return Status::Ok();
+}
+
+uint64_t SystemMetrics::CounterOr0(const char* name,
+                                   const obs::Labels& labels) const {
+  return registry_ != nullptr ? registry_->CounterValue(name, labels) : 0;
+}
+
+obs::HistogramSummary SystemMetrics::SummaryOf(
+    const char* name, const obs::Labels& labels) const {
+  if (registry_ == nullptr) return {};
+  const obs::Histogram* h = registry_->FindHistogram(name, labels);
+  return h != nullptr ? h->Summary() : obs::HistogramSummary{};
+}
+
+uint64_t SystemMetrics::committed_intra_txs() const {
+  return CounterOr0("porygon.committed_txs", {{"scope", "intra"}});
+}
+uint64_t SystemMetrics::committed_cross_txs() const {
+  return CounterOr0("porygon.committed_txs", {{"scope", "cross"}});
+}
+uint64_t SystemMetrics::discarded_txs() const {
+  return CounterOr0("porygon.discarded_txs", {});
+}
+uint64_t SystemMetrics::failed_txs() const {
+  return CounterOr0("porygon.failed_txs", {});
+}
+uint64_t SystemMetrics::committed_blocks() const {
+  return CounterOr0("porygon.committed_blocks", {});
+}
+uint64_t SystemMetrics::empty_rounds() const {
+  return CounterOr0("porygon.empty_rounds", {});
+}
+uint64_t SystemMetrics::replay_mismatches() const {
+  return CounterOr0("porygon.replay_mismatches", {});
+}
+
+obs::HistogramSummary SystemMetrics::BlockLatency() const {
+  return SummaryOf("porygon.latency_seconds", {{"kind", "block"}});
+}
+obs::HistogramSummary SystemMetrics::CommitLatency() const {
+  return SummaryOf("porygon.latency_seconds", {{"kind", "commit"}});
+}
+obs::HistogramSummary SystemMetrics::UserLatency() const {
+  return SummaryOf("porygon.latency_seconds", {{"kind", "user"}});
+}
+obs::HistogramSummary SystemMetrics::PhaseDuration(Phase phase) const {
+  return SummaryOf("porygon.phase_seconds",
+                   {{"phase", PhaseLabelName(static_cast<int>(phase))}});
+}
+
+std::string SystemMetrics::ToJson() const {
+  return registry_ != nullptr ? obs::ExportJson(*registry_) : "{}";
+}
+std::string SystemMetrics::ToCsv() const {
+  return registry_ != nullptr ? obs::ExportCsv(*registry_) : "";
+}
+
 PorygonSystem::PorygonSystem(const SystemOptions& options)
     : options_(options), rng_(options.seed) {
+  if (Status valid = options_.Validate(); !valid.ok()) {
+    PORYGON_LOG(kError) << "invalid SystemOptions: " << valid.ToString();
+    std::abort();
+  }
+
+  // Resolve every hot-path instrument up front: actors record through these
+  // pointers, never through registry lookups.
+  obs_.submitted_txs = metrics_registry_.GetCounter("porygon.submitted_txs");
+  obs_.rejected_duplicate = metrics_registry_.GetCounter(
+      "porygon.rejected_txs", {{"reason", "duplicate"}});
+  obs_.rejected_invalid = metrics_registry_.GetCounter(
+      "porygon.rejected_txs", {{"reason", "invalid"}});
+  obs_.committed_intra = metrics_registry_.GetCounter(
+      "porygon.committed_txs", {{"scope", "intra"}});
+  obs_.committed_cross = metrics_registry_.GetCounter(
+      "porygon.committed_txs", {{"scope", "cross"}});
+  obs_.discarded_txs = metrics_registry_.GetCounter("porygon.discarded_txs");
+  obs_.failed_txs = metrics_registry_.GetCounter("porygon.failed_txs");
+  obs_.committed_blocks =
+      metrics_registry_.GetCounter("porygon.committed_blocks");
+  obs_.empty_rounds = metrics_registry_.GetCounter("porygon.empty_rounds");
+  obs_.replay_mismatches =
+      metrics_registry_.GetCounter("porygon.replay_mismatches");
+  obs_.gossip_dedup_hits =
+      metrics_registry_.GetCounter("core.gossip_dedup_hits");
+  obs_.exec_cache_hits = metrics_registry_.GetCounter("core.exec_cache_hits");
+  obs_.exec_cache_misses =
+      metrics_registry_.GetCounter("core.exec_cache_misses");
+  obs_.block_latency = metrics_registry_.GetHistogram(
+      "porygon.latency_seconds", {{"kind", "block"}});
+  obs_.commit_latency = metrics_registry_.GetHistogram(
+      "porygon.latency_seconds", {{"kind", "commit"}});
+  obs_.user_latency = metrics_registry_.GetHistogram(
+      "porygon.latency_seconds", {{"kind", "user"}});
+  obs_.phase_witness = metrics_registry_.GetHistogram(
+      "porygon.phase_seconds", {{"phase", PhaseLabelName(0)}});
+  obs_.phase_ordering = metrics_registry_.GetHistogram(
+      "porygon.phase_seconds", {{"phase", PhaseLabelName(1)}});
+  obs_.phase_execution = metrics_registry_.GetHistogram(
+      "porygon.phase_seconds", {{"phase", PhaseLabelName(2)}});
+  obs_.phase_commit = metrics_registry_.GetHistogram(
+      "porygon.phase_seconds", {{"phase", PhaseLabelName(3)}});
+  obs_.consensus.instances =
+      metrics_registry_.GetCounter("consensus.instances");
+  obs_.consensus.votes_cast =
+      metrics_registry_.GetCounter("consensus.votes_cast");
+  obs_.consensus.votes_received =
+      metrics_registry_.GetCounter("consensus.votes_received");
+  obs_.consensus.timeouts = metrics_registry_.GetCounter("consensus.timeouts");
+  obs_.consensus.decisions =
+      metrics_registry_.GetCounter("consensus.decisions");
+
   network_ = std::make_unique<net::SimNetwork>(&events_, rng_.Fork());
+  network_->EnableMetrics(
+      &metrics_registry_,
+      [](uint16_t kind) { return std::string(MsgKindName(kind)); },
+      [](uint16_t kind) {
+        return std::string(PhaseLabelName(PhaseOfKind(kind)));
+      });
   network_->SetLatency(options_.params.latency_us,
                        options_.params.latency_jitter_us);
   if (options_.use_ed25519) {
@@ -69,7 +234,8 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
                                            options_.malicious_storage_fraction);
   for (int i = 0; i < options_.num_storage_nodes; ++i) {
     net::NodeId nid = network_->AddNode(
-        {options_.params.storage_bps, options_.params.storage_bps});
+        {options_.params.storage_bps, options_.params.storage_bps},
+        "storage");
     bool malicious = i < malicious_storage;
     auto actor = std::make_unique<StorageNodeActor>(this, i, nid, malicious);
     StorageNodeActor* raw = actor.get();
@@ -118,7 +284,8 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
 
   for (int i = 0; i < options_.num_stateless_nodes; ++i) {
     net::NodeId nid = network_->AddNode(
-        {options_.params.stateless_bps, options_.params.stateless_bps});
+        {options_.params.stateless_bps, options_.params.stateless_bps},
+        "stateless");
     // m random storage connections (with one honest among them whp).
     std::vector<net::NodeId> conns;
     int m = std::min(options_.params.storage_connections,
@@ -171,7 +338,11 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   genesis_.shard_updates.assign(options_.params.shard_count(), {});
 }
 
-PorygonSystem::~PorygonSystem() = default;
+PorygonSystem::~PorygonSystem() {
+  // Executions still in flight at teardown never completed; do not record
+  // their partial durations.
+  for (auto& [round, timer] : exec_timers_) timer.Cancel();
+}
 
 const StatelessNodeActor* PorygonSystem::StatelessByNetId(
     net::NodeId id) const {
@@ -197,13 +368,26 @@ void PorygonSystem::CreateAccounts(uint64_t count, uint64_t balance) {
   next_account_hint_ += count;
 }
 
-bool PorygonSystem::SubmitTransaction(tx::Transaction t) {
+Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
+  if (t.from == 0 || t.to == 0) {
+    obs_.rejected_invalid->Increment();
+    return Status::InvalidArgument("transaction endpoints must be non-zero");
+  }
+  if (t.from == t.to) {
+    obs_.rejected_invalid->Increment();
+    return Status::InvalidArgument("self-transfers are not allowed");
+  }
   t.submitted_at = static_cast<uint64_t>(events_.now());
   // Deterministic home storage node by tx id; clients talk to storage
   // directly (client-side bandwidth is out of the model).
   int home = static_cast<int>(crypto::HashPrefixU64(t.Id()) %
                               storage_nodes_.size());
-  return storage_nodes_[home]->pool_.Add(t);
+  if (!storage_nodes_[home]->pool_.Add(t)) {
+    obs_.rejected_duplicate->Increment();
+    return Status::AlreadyExists("duplicate transaction");
+  }
+  obs_.submitted_txs->Increment();
+  return Status::Ok();
 }
 
 void PorygonSystem::RegisterAnnounce(const RoleAnnounce& announce) {
@@ -326,19 +510,27 @@ void PorygonSystem::OnBlockCommitted(const tx::ProposalBlock& block,
   }
   chain_.push_back(block);
   ++committed_rounds_;
-  ++metrics_.committed_blocks;
+  obs_.committed_blocks->Increment();
 
   bool empty = true;
   for (const auto& list : block.shard_tx_blocks) {
     if (!list.empty()) empty = false;
   }
-  if (empty) ++metrics_.empty_rounds;
+  if (empty) obs_.empty_rounds->Increment();
 
   if (block.round >= 1 && commit_times_.count(block.round - 1) > 0) {
-    metrics_.block_latencies_s.push_back(net::ToSeconds(
-        when - commit_times_[block.round - 1]));
+    obs_.block_latency->Observe(
+        net::ToSeconds(when - commit_times_[block.round - 1]));
   }
-  metrics_.discarded_txs += block.discarded.size();
+  obs_.discarded_txs->Add(block.discarded.size());
+
+  // Commit phase: the leader's ordering decision to the block landing back
+  // at storage.
+  auto decided = decision_times_.find(block.round);
+  if (decided != decision_times_.end()) {
+    obs_.phase_commit->Observe(net::ToSeconds(when - decided->second));
+    decision_times_.erase(decided);
+  }
 
   // Replay verification: committed roots must match the canonical replay
   // of the inputs that produced them (exec round = block.round - 2).
@@ -354,7 +546,7 @@ void PorygonSystem::OnBlockCommitted(const tx::ProposalBlock& block,
         bool unchanged = d < prev_roots.size() &&
                          block.shard_roots[d] == prev_roots[d];
         if (!unchanged && block.shard_roots[d] != cached->second.roots[d]) {
-          ++metrics_.replay_mismatches;
+          obs_.replay_mismatches->Increment();
         }
       }
     }
@@ -420,22 +612,21 @@ void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
           std::string tid = IdKey(t.Id());
           if (discarded.count(tid) > 0) continue;
           if (failed != nullptr && failed->count(tid) > 0) {
-            ++metrics_.failed_txs;
+            obs_.failed_txs->Increment();
             continue;
           }
           if (want_cross) {
-            ++metrics_.committed_cross_txs;
+            obs_.committed_cross->Increment();
           } else {
-            ++metrics_.committed_intra_txs;
+            obs_.committed_intra->Increment();
           }
-          metrics_.user_latencies_s.push_back(
+          obs_.user_latency->Observe(
               now_s - net::ToSeconds(static_cast<net::SimTime>(
                           t.submitted_at)));
           auto ws = round_start_times_.find(
               stored->second.block.header.round_created);
           if (ws != round_start_times_.end()) {
-            metrics_.commit_latencies_s.push_back(
-                now_s - net::ToSeconds(ws->second));
+            obs_.commit_latency->Observe(now_s - net::ToSeconds(ws->second));
           }
         }
       }
@@ -488,24 +679,79 @@ size_t PorygonSystem::RegisteredEcMembers(uint64_t round) const {
   return n;
 }
 
+void PorygonSystem::RecordWitnessReached(uint64_t batch_round) {
+  // One sample per batch round: the first block of the batch to cross Tw
+  // marks the end of the witness phase for that round.
+  if (!witness_recorded_.insert(batch_round).second) return;
+  auto started = round_start_times_.find(batch_round);
+  if (started == round_start_times_.end()) return;
+  obs_.phase_witness->Observe(
+      net::ToSeconds(events_.now() - started->second));
+  // Bound memory.
+  while (!witness_recorded_.empty() &&
+         *witness_recorded_.begin() + 16 < batch_round) {
+    witness_recorded_.erase(witness_recorded_.begin());
+  }
+}
+
+void PorygonSystem::RecordOrderingDecision(uint64_t round) {
+  if (decision_times_.count(round) > 0) return;
+  decision_times_[round] = events_.now();
+  auto started = round_start_times_.find(round);
+  if (started != round_start_times_.end()) {
+    obs_.phase_ordering->Observe(
+        net::ToSeconds(events_.now() - started->second));
+  }
+}
+
+void PorygonSystem::NoteExecPhaseStart(uint64_t exec_round) {
+  // First storage node to fan out exec requests starts the clock; the timer
+  // observes into the execution histogram when NoteExecPhaseEnd erases it.
+  exec_timers_.try_emplace(
+      exec_round,
+      obs::PhaseTimer(obs_.phase_execution,
+                      [this] { return sim_seconds(); }));
+}
+
+void PorygonSystem::NoteExecPhaseEnd(uint64_t exec_round) {
+  auto it = exec_timers_.find(exec_round);
+  if (it == exec_timers_.end()) return;
+  it->second.Stop();
+  exec_timers_.erase(it);
+}
+
 net::SimTime PorygonSystem::DrawSessionEnd() {
   return events_.now() +
          net::FromSeconds(rng_.NextExponential(options_.mean_session_s));
 }
 
 std::map<int, double> PorygonSystem::StatelessPhaseTraffic() const {
+  // Derived entirely from the registry's labelled net counters: sum the
+  // stateless class's sent+received bytes per phase, averaged per node per
+  // committed round. Equivalent to the former per-node TrafficStats sweep.
   std::map<int, double> per_phase;
+  auto phase_of_label = [](const std::string& label) {
+    for (int p = -1; p <= 3; ++p) {
+      if (label == PhaseLabelName(p)) return p;
+    }
+    return -1;
+  };
+  auto accumulate = [&](const std::string& name, const obs::Labels& labels,
+                        const obs::Counter& counter) {
+    if (name != "net.sent_bytes" && name != "net.recv_bytes") return;
+    std::string node_class, phase_label;
+    for (const auto& [key, value] : labels) {
+      if (key == "class") node_class = value;
+      if (key == "phase") phase_label = value;
+    }
+    if (node_class != "stateless") return;
+    per_phase[phase_of_label(phase_label)] +=
+        static_cast<double>(counter.value());
+  };
+  metrics_registry_.VisitCounters(accumulate);
+
   uint64_t rounds = committed_rounds_ > 0 ? committed_rounds_ : 1;
   size_t nodes = stateless_nodes_.size() > 0 ? stateless_nodes_.size() : 1;
-  for (const auto& node : stateless_nodes_) {
-    const net::TrafficStats& stats = network_->StatsFor(node->net_id());
-    for (const auto& [kind, bytes] : stats.sent_by_kind) {
-      per_phase[PhaseOfKind(kind)] += static_cast<double>(bytes);
-    }
-    for (const auto& [kind, bytes] : stats.received_by_kind) {
-      per_phase[PhaseOfKind(kind)] += static_cast<double>(bytes);
-    }
-  }
   for (auto& [phase, bytes] : per_phase) {
     bytes /= static_cast<double>(rounds) * static_cast<double>(nodes);
   }

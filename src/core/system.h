@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "consensus/ba_star.h"
 #include "core/committee.h"
 #include "core/coordinator.h"
@@ -20,6 +21,7 @@
 #include "core/pipeline.h"
 #include "crypto/provider.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "state/sharded_state.h"
 #include "storage/db.h"
 #include "storage/env.h"
@@ -65,36 +67,63 @@ struct SystemOptions {
   /// 50-block committees stall instead. The stable OC (long-lived per
   /// §IV-C2) is exempt.
   double mean_session_s = 0;
+
+  /// Rejects nonsense configurations (negative counts, fractions outside
+  /// [0,1], an OC larger than the stateless population, ...) with
+  /// kInvalidArgument naming the offending field. The PorygonSystem
+  /// constructor calls this and aborts on failure.
+  Status Validate() const;
 };
 
-/// Everything the experiments measure.
-struct SystemMetrics {
-  uint64_t committed_intra_txs = 0;
-  uint64_t committed_cross_txs = 0;
-  uint64_t discarded_txs = 0;
-  uint64_t failed_txs = 0;
-  uint64_t committed_blocks = 0;
-  uint64_t empty_rounds = 0;
-  /// Consecutive commit-to-commit gaps (seconds).
-  std::vector<double> block_latencies_s;
-  /// Witness-to-commit per transaction (seconds).
-  std::vector<double> commit_latencies_s;
-  /// Submission-to-commit per transaction (seconds).
-  std::vector<double> user_latencies_s;
+/// Everything the experiments measure: a read-only facade over the
+/// system's MetricsRegistry. Actors record through the registry; this class
+/// only derives values at call time, so it is cheap to copy (one pointer)
+/// and valid for as long as the owning PorygonSystem lives.
+class SystemMetrics {
+ public:
+  explicit SystemMetrics(const obs::MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  uint64_t committed_intra_txs() const;
+  uint64_t committed_cross_txs() const;
+  uint64_t committed_txs() const {
+    return committed_intra_txs() + committed_cross_txs();
+  }
+  uint64_t discarded_txs() const;
+  uint64_t failed_txs() const;
+  uint64_t committed_blocks() const;
+  uint64_t empty_rounds() const;
   /// Root mismatches detected during storage replay (0 in honest runs).
-  uint64_t replay_mismatches = 0;
+  uint64_t replay_mismatches() const;
 
   double Tps(double duration_s) const {
     return duration_s > 0
-               ? (committed_intra_txs + committed_cross_txs) / duration_s
+               ? static_cast<double>(committed_txs()) / duration_s
                : 0;
   }
-  static double Mean(const std::vector<double>& v) {
-    if (v.empty()) return 0;
-    double s = 0;
-    for (double x : v) s += x;
-    return s / v.size();
-  }
+
+  /// Consecutive commit-to-commit gaps (seconds).
+  obs::HistogramSummary BlockLatency() const;
+  /// Witness-to-commit per transaction (seconds).
+  obs::HistogramSummary CommitLatency() const;
+  /// Submission-to-commit per transaction (seconds).
+  obs::HistogramSummary UserLatency() const;
+  /// Duration of one pipeline phase per round (seconds).
+  obs::HistogramSummary PhaseDuration(Phase phase) const;
+
+  /// Full registry export (see obs/export.h for the formats).
+  std::string ToJson() const;
+  std::string ToCsv() const;
+
+  /// Escape hatch for series without a dedicated accessor.
+  const obs::MetricsRegistry* registry() const { return registry_; }
+
+ private:
+  uint64_t CounterOr0(const char* name, const obs::Labels& labels) const;
+  obs::HistogramSummary SummaryOf(const char* name,
+                                  const obs::Labels& labels) const;
+
+  const obs::MetricsRegistry* registry_;
 };
 
 /// A storage node: holds the full state and the block store, packages
@@ -283,14 +312,22 @@ class PorygonSystem {
   void CreateAccounts(uint64_t count, uint64_t balance);
 
   /// Client-submits a transaction to a deterministic storage node at the
-  /// current virtual time. Returns false on mempool duplicate.
-  bool SubmitTransaction(tx::Transaction t);
+  /// current virtual time. Returns kInvalidArgument for malformed
+  /// transactions (missing endpoints, self-transfers) and kAlreadyExists
+  /// for mempool duplicates.
+  Status SubmitTransaction(tx::Transaction t);
 
   /// Starts the protocol (genesis block, first round) and runs until
   /// `rounds` proposal blocks have committed (or `max_sim_time` passes).
   void Run(int rounds, net::SimTime max_sim_time = net::kSimTimeNever);
 
-  const SystemMetrics& metrics() const { return metrics_; }
+  SystemMetrics metrics() const { return SystemMetrics(&metrics_registry_); }
+  /// The registry every layer of this deployment records into (network,
+  /// consensus, storage engines, pipeline actors).
+  obs::MetricsRegistry* metrics_registry() { return &metrics_registry_; }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return metrics_registry_;
+  }
   const std::vector<tx::ProposalBlock>& chain() const { return chain_; }
   const state::ShardedState& canonical_state() const { return *exec_state_; }
   net::SimNetwork* network() { return network_.get(); }
@@ -363,6 +400,42 @@ class PorygonSystem {
   void RegisterAnnounce(const RoleAnnounce& announce);
   const RoundRegistry* RegistryFor(uint64_t round) const;
 
+  // --- Observability -----------------------------------------------------
+  // Phase-duration recording: witness when blocks reach Tw, ordering at the
+  // leader's BA* decision, commit from decision to block application,
+  // execution via a PhaseTimer spanning exec-request fan-out to the first
+  // result back at the leader. All in sim time; actors call these hooks.
+  void RecordWitnessReached(uint64_t batch_round);
+  void RecordOrderingDecision(uint64_t round);
+  void NoteExecPhaseStart(uint64_t exec_round);
+  void NoteExecPhaseEnd(uint64_t exec_round);
+
+  /// Hot-path instrument pointers, resolved once at construction so actors
+  /// record without registry lookups.
+  struct Instruments {
+    obs::Counter* submitted_txs = nullptr;
+    obs::Counter* rejected_duplicate = nullptr;
+    obs::Counter* rejected_invalid = nullptr;
+    obs::Counter* committed_intra = nullptr;
+    obs::Counter* committed_cross = nullptr;
+    obs::Counter* discarded_txs = nullptr;
+    obs::Counter* failed_txs = nullptr;
+    obs::Counter* committed_blocks = nullptr;
+    obs::Counter* empty_rounds = nullptr;
+    obs::Counter* replay_mismatches = nullptr;
+    obs::Counter* gossip_dedup_hits = nullptr;
+    obs::Counter* exec_cache_hits = nullptr;
+    obs::Counter* exec_cache_misses = nullptr;
+    obs::Histogram* block_latency = nullptr;
+    obs::Histogram* commit_latency = nullptr;
+    obs::Histogram* user_latency = nullptr;
+    obs::Histogram* phase_witness = nullptr;
+    obs::Histogram* phase_ordering = nullptr;
+    obs::Histogram* phase_execution = nullptr;
+    obs::Histogram* phase_commit = nullptr;
+    consensus::BaStar::Instruments consensus;
+  };
+
   // --- Round driving -----------------------------------------------------
   void StartRound(uint64_t round);
   void MaybeScheduleNextRound();
@@ -383,6 +456,13 @@ class PorygonSystem {
 
   SystemOptions options_;
   Rng rng_;
+  // Declared before the network and actors: they cache pointers into the
+  // registry and must be destroyed first.
+  obs::MetricsRegistry metrics_registry_;
+  Instruments obs_;
+  std::set<uint64_t> witness_recorded_;  // Batch rounds with a Tw sample.
+  std::map<uint64_t, net::SimTime> decision_times_;
+  std::map<uint64_t, obs::PhaseTimer> exec_timers_;
   net::EventQueue events_;
   std::unique_ptr<net::SimNetwork> network_;
   std::unique_ptr<crypto::CryptoProvider> provider_;
@@ -391,7 +471,6 @@ class PorygonSystem {
   net::NodeId leader_net_id_ = net::kInvalidNode;
   std::vector<crypto::PublicKey> oc_keys_;
   std::vector<net::NodeId> oc_net_ids_;
-  SystemMetrics metrics_;
   uint64_t next_account_hint_ = 1;
 };
 

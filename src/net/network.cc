@@ -8,11 +8,49 @@ namespace porygon::net {
 SimNetwork::SimNetwork(EventQueue* events, Rng rng)
     : events_(events), rng_(rng) {}
 
-NodeId SimNetwork::AddNode(const LinkSpec& link) {
+NodeId SimNetwork::AddNode(const LinkSpec& link,
+                           const std::string& node_class) {
   NodeState state;
   state.link = link;
+  auto cls = std::find(classes_.begin(), classes_.end(), node_class);
+  if (cls == classes_.end()) {
+    classes_.push_back(node_class);
+    state.class_idx = static_cast<uint32_t>(classes_.size() - 1);
+  } else {
+    state.class_idx = static_cast<uint32_t>(cls - classes_.begin());
+  }
   nodes_.push_back(std::move(state));
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::EnableMetrics(obs::MetricsRegistry* registry,
+                               std::function<std::string(uint16_t)> kind_name,
+                               std::function<std::string(uint16_t)> phase_name) {
+  metrics_ = registry;
+  kind_name_ = std::move(kind_name);
+  phase_name_ = std::move(phase_name);
+  counter_cache_.clear();
+  dropped_counter_ =
+      metrics_ != nullptr ? metrics_->GetCounter("net.dropped_messages")
+                          : nullptr;
+}
+
+SimNetwork::KindCounters& SimNetwork::CountersFor(uint32_t class_idx,
+                                                  uint16_t kind) {
+  const uint32_t key = (class_idx << 16) | kind;
+  auto it = counter_cache_.find(key);
+  if (it != counter_cache_.end()) return it->second;
+
+  obs::Labels labels{{"class", classes_[class_idx]},
+                     {"kind", kind_name_ ? kind_name_(kind)
+                                         : std::to_string(kind)}};
+  if (phase_name_) labels.emplace_back("phase", phase_name_(kind));
+  KindCounters counters;
+  counters.sent_bytes = metrics_->GetCounter("net.sent_bytes", labels);
+  counters.recv_bytes = metrics_->GetCounter("net.recv_bytes", labels);
+  counters.sent_messages = metrics_->GetCounter("net.sent_messages", labels);
+  counters.recv_messages = metrics_->GetCounter("net.recv_messages", labels);
+  return counter_cache_.emplace(key, counters).first->second;
 }
 
 void SimNetwork::SetHandler(NodeId node, Handler handler) {
@@ -31,6 +69,7 @@ void SimNetwork::Send(Message msg) {
   if (sender.crashed || nodes_[msg.to].crashed ||
       (drop_filter_ && drop_filter_(msg))) {
     ++messages_dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
     return;
   }
   // wire_size is authoritative: payloads may carry uncompressed in-memory
@@ -41,6 +80,11 @@ void SimNetwork::Send(Message msg) {
 
   sender.stats.bytes_sent += msg.wire_size;
   sender.stats.sent_by_kind[msg.kind] += msg.wire_size;
+  if (metrics_ != nullptr) {
+    KindCounters& counters = CountersFor(sender.class_idx, msg.kind);
+    counters.sent_bytes->Add(msg.wire_size);
+    counters.sent_messages->Increment();
+  }
 
   const SimTime now = events_->now();
   const double up_bps = std::max(sender.link.uplink_bps, 1.0);
@@ -59,6 +103,7 @@ void SimNetwork::Send(Message msg) {
     NodeState& receiver = nodes_[msg.to];
     if (receiver.crashed) {
       ++messages_dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->Increment();
       return;
     }
     const double down_bps = std::max(receiver.link.downlink_bps, 1.0);
@@ -71,10 +116,16 @@ void SimNetwork::Send(Message msg) {
       NodeState& receiver = nodes_[msg.to];
       if (receiver.crashed || !receiver.handler) {
         ++messages_dropped_;
+        if (dropped_counter_ != nullptr) dropped_counter_->Increment();
         return;
       }
       receiver.stats.bytes_received += msg.wire_size;
       receiver.stats.received_by_kind[msg.kind] += msg.wire_size;
+      if (metrics_ != nullptr) {
+        KindCounters& counters = CountersFor(receiver.class_idx, msg.kind);
+        counters.recv_bytes->Add(msg.wire_size);
+        counters.recv_messages->Increment();
+      }
       ++messages_delivered_;
       receiver.handler(msg);
     });

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "net/event_queue.h"
 #include "net/sim_time.h"
+#include "obs/metrics.h"
 
 namespace porygon::net {
 
@@ -62,8 +63,20 @@ class SimNetwork {
 
   SimNetwork(EventQueue* events, Rng rng);
 
-  /// Registers a node and returns its id.
-  NodeId AddNode(const LinkSpec& link);
+  /// Registers a node and returns its id. `node_class` groups nodes for
+  /// metrics breakdowns (e.g. "storage" vs "stateless"); it is a label on
+  /// the exported series, not part of routing.
+  NodeId AddNode(const LinkSpec& link, const std::string& node_class = "node");
+
+  /// Mirrors traffic accounting into `registry` as net.sent_bytes /
+  /// net.recv_bytes / net.sent_messages / net.recv_messages counters
+  /// labelled {class, kind, phase}, plus net.dropped_messages. The
+  /// `kind_name` / `phase_name` callbacks translate raw message kinds to
+  /// stable label values so the export is protocol-aware without the net
+  /// layer knowing any protocol enum. Passing nullptr disables mirroring.
+  void EnableMetrics(obs::MetricsRegistry* registry,
+                     std::function<std::string(uint16_t)> kind_name = {},
+                     std::function<std::string(uint16_t)> phase_name = {});
 
   void SetHandler(NodeId node, Handler handler);
   void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
@@ -99,16 +112,35 @@ class SimNetwork {
     SimTime uplink_free_at = 0;
     SimTime downlink_free_at = 0;
     TrafficStats stats;
+    uint32_t class_idx = 0;
   };
+
+  /// Registry counters for one (node class, message kind) pair, resolved
+  /// once and cached so the per-message cost is a map probe + increments.
+  struct KindCounters {
+    obs::Counter* sent_bytes = nullptr;
+    obs::Counter* recv_bytes = nullptr;
+    obs::Counter* sent_messages = nullptr;
+    obs::Counter* recv_messages = nullptr;
+  };
+
+  KindCounters& CountersFor(uint32_t class_idx, uint16_t kind);
 
   EventQueue* events_;
   Rng rng_;
   std::vector<NodeState> nodes_;
+  std::vector<std::string> classes_;
   DropFilter drop_filter_;
   SimTime latency_base_ = FromMillis(0.5);  // Paper: 0.5 ms node<->storage.
   SimTime latency_jitter_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::function<std::string(uint16_t)> kind_name_;
+  std::function<std::string(uint16_t)> phase_name_;
+  obs::Counter* dropped_counter_ = nullptr;
+  std::unordered_map<uint32_t, KindCounters> counter_cache_;
 };
 
 }  // namespace porygon::net

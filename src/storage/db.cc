@@ -17,8 +17,33 @@ std::string TableFileName(uint64_t number) {
 }  // namespace
 
 Db::Db(Env* env, std::string dir, DbOptions options)
-    : env_(env), dir_(std::move(dir)), options_(options),
-      memtable_(new MemTable()) {}
+    : env_(env), dir_(std::move(dir)), options_(std::move(options)),
+      memtable_(new MemTable()) {
+  if (options_.metrics != nullptr) {
+    obs::Labels labels;
+    if (!options_.metrics_node.empty()) {
+      labels.emplace_back("node", options_.metrics_node);
+    }
+    wal_bytes_ = options_.metrics->GetCounter("db.wal_bytes", labels);
+    wal_records_ = options_.metrics->GetCounter("db.wal_records", labels);
+    flushes_ = options_.metrics->GetCounter("db.flushes", labels);
+    compactions_ = options_.metrics->GetCounter("db.compactions", labels);
+    bloom_checks_ = options_.metrics->GetCounter("db.bloom_checks", labels);
+    bloom_negatives_ =
+        options_.metrics->GetCounter("db.bloom_negatives", labels);
+    l0_gauge_ = options_.metrics->GetGauge("db.l0_tables", labels);
+  }
+}
+
+void Db::AttachTableMetrics(SstableReader* reader) const {
+  reader->set_bloom_metrics(bloom_checks_, bloom_negatives_);
+}
+
+void Db::UpdateTableGauge() {
+  if (l0_gauge_ != nullptr) {
+    l0_gauge_->Set(static_cast<double>(l0_.size()));
+  }
+}
 
 Db::~Db() = default;
 
@@ -47,6 +72,7 @@ Status Db::Recover() {
       PORYGON_ASSIGN_OR_RETURN(uint64_t number, dec.GetVarint());
       PORYGON_ASSIGN_OR_RETURN(auto reader,
                                SstableReader::Open(env_, TablePath(number)));
+      AttachTableMetrics(reader.get());
       auto handle = std::make_unique<TableHandle>();
       handle->number = number;
       handle->reader = std::move(reader);
@@ -73,6 +99,8 @@ Status Db::Recover() {
     PORYGON_RETURN_IF_ERROR(FlushLocked());
   }
   PORYGON_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalPath()));
+  wal_->set_metrics(wal_bytes_, wal_records_);
+  UpdateTableGauge();
   return Status::Ok();
 }
 
@@ -231,6 +259,7 @@ Status Db::Scan(ByteView start, ByteView end,
 
 Status Db::FlushLocked() {
   if (memtable_->EntryCount() == 0) return Status::Ok();
+  if (flushes_ != nullptr) flushes_->Increment();
 
   uint64_t number = next_table_number_++;
   SstableBuilder builder(env_, TablePath(number));
@@ -253,12 +282,15 @@ Status Db::FlushLocked() {
 
   PORYGON_ASSIGN_OR_RETURN(auto reader,
                            SstableReader::Open(env_, TablePath(number)));
+  AttachTableMetrics(reader.get());
   l0_.push_back(TableHandle{number, std::move(reader)});
+  UpdateTableGauge();
   PORYGON_RETURN_IF_ERROR(WriteManifest());
 
   // The flushed data is durable; start a fresh memtable and WAL.
   memtable_ = std::make_unique<MemTable>();
   PORYGON_ASSIGN_OR_RETURN(wal_, WalWriter::Open(env_, WalPath()));
+  wal_->set_metrics(wal_bytes_, wal_records_);
   return MaybeCompact();
 }
 
@@ -273,6 +305,7 @@ Status Db::MaybeCompact() {
 
 Status Db::CompactAll() {
   if (l0_.empty() && !l1_) return Status::Ok();
+  if (compactions_ != nullptr) compactions_->Increment();
 
   // Merge newest-wins across all tables; a full compaction may drop
   // tombstones because nothing older remains underneath.
@@ -304,9 +337,11 @@ Status Db::CompactAll() {
 
   PORYGON_ASSIGN_OR_RETURN(auto reader,
                            SstableReader::Open(env_, TablePath(number)));
+  AttachTableMetrics(reader.get());
   l1_ = std::make_unique<TableHandle>();
   l1_->number = number;
   l1_->reader = std::move(reader);
+  UpdateTableGauge();
   PORYGON_RETURN_IF_ERROR(WriteManifest());
 
   for (uint64_t n : obsolete) {

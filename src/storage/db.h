@@ -9,6 +9,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
@@ -23,6 +24,11 @@ struct DbOptions {
   int l0_compaction_trigger = 4;
   /// fsync the WAL on every write (off in simulations; MemEnv is lossless).
   bool sync_writes = false;
+  /// Optional registry receiving engine counters (db.wal_bytes, db.flushes,
+  /// db.compactions, db.bloom_checks, ...). Series carry a {node:
+  /// metrics_node} label so multiple Db instances stay distinguishable.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_node;
 };
 
 /// Embedded LSM key/value store: the per-storage-node database that replaces
@@ -92,6 +98,11 @@ class Db {
  private:
   Db(Env* env, std::string dir, DbOptions options);
 
+  /// Hands the bloom counters to a freshly opened table reader and refreshes
+  /// the db.l0_tables gauge; no-ops without a registry.
+  void AttachTableMetrics(SstableReader* reader) const;
+  void UpdateTableGauge();
+
   Status Recover();
   Status FlushLocked();
   Status MaybeCompact();
@@ -122,6 +133,16 @@ class Db {
   };
   std::vector<TableHandle> l0_;  // Oldest first; search newest first.
   std::unique_ptr<TableHandle> l1_;
+
+  // Engine counters, resolved once in the constructor (null when
+  // options_.metrics is unset).
+  obs::Counter* wal_bytes_ = nullptr;
+  obs::Counter* wal_records_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* compactions_ = nullptr;
+  obs::Counter* bloom_checks_ = nullptr;
+  obs::Counter* bloom_negatives_ = nullptr;
+  obs::Gauge* l0_gauge_ = nullptr;
 };
 
 }  // namespace porygon::storage

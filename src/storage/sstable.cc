@@ -150,7 +150,11 @@ Result<Bytes> SstableReader::Get(ByteView key, bool* found_tombstone) const {
   if (index_entries_.empty()) return Status::NotFound("empty table");
 
   BloomFilterReader bloom(bloom_raw_);
-  if (!bloom.MayContain(key)) return Status::NotFound("bloom miss");
+  if (bloom_checks_ != nullptr) bloom_checks_->Increment();
+  if (!bloom.MayContain(key)) {
+    if (bloom_negatives_ != nullptr) bloom_negatives_->Increment();
+    return Status::NotFound("bloom miss");
+  }
 
   // Binary search for the last index group whose first key <= key.
   auto it = std::upper_bound(

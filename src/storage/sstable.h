@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/bloom.h"
 #include "storage/env.h"
 #include "storage/memtable.h"
@@ -79,6 +80,14 @@ class SstableReader {
   size_t entry_count() const { return entry_count_; }
   uint64_t data_size() const { return index_offset_; }
 
+  /// Mirrors bloom-filter effectiveness into registry counters (lookups
+  /// consulting the filter, and lookups it short-circuited). Either pointer
+  /// may be null. The hit rate is `1 - negatives / checks`.
+  void set_bloom_metrics(obs::Counter* checks, obs::Counter* negatives) {
+    bloom_checks_ = checks;
+    bloom_negatives_ = negatives;
+  }
+
  private:
   SstableReader() = default;
 
@@ -86,6 +95,8 @@ class SstableReader {
   static Status ParseEntry(const Bytes& data, size_t* offset, Entry* out);
 
   std::unique_ptr<RandomAccessFile> file_;
+  obs::Counter* bloom_checks_ = nullptr;
+  obs::Counter* bloom_negatives_ = nullptr;
   uint64_t index_offset_ = 0;
   size_t entry_count_ = 0;
   Bytes bloom_raw_;

@@ -23,6 +23,8 @@ Status WalWriter::AddRecord(uint64_t sequence, ValueType type, ByteView key,
   frame.PutU32(Crc32cMask(Crc32c(payload.buffer())));
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutFixed(payload.buffer());
+  if (bytes_counter_ != nullptr) bytes_counter_->Add(frame.size());
+  if (records_counter_ != nullptr) records_counter_->Increment();
   return file_->Append(frame.buffer());
 }
 
@@ -42,6 +44,8 @@ Status WalWriter::AddBatchRecord(uint64_t first_sequence,
   frame.PutU32(Crc32cMask(Crc32c(payload.buffer())));
   frame.PutU32(static_cast<uint32_t>(payload.size()));
   frame.PutFixed(payload.buffer());
+  if (bytes_counter_ != nullptr) bytes_counter_->Add(frame.size());
+  if (records_counter_ != nullptr) records_counter_->Increment();
   return file_->Append(frame.buffer());
 }
 

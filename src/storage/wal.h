@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 #include "storage/memtable.h"
 
@@ -41,10 +42,20 @@ class WalWriter {
 
   Status Sync();
 
+  /// Mirrors append volume into registry counters (framed bytes written and
+  /// records appended). Either pointer may be null; the Db re-attaches these
+  /// after every WAL rotation.
+  void set_metrics(obs::Counter* bytes, obs::Counter* records) {
+    bytes_counter_ = bytes;
+    records_counter_ = records;
+  }
+
  private:
   explicit WalWriter(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
   std::unique_ptr<WritableFile> file_;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* records_counter_ = nullptr;
 };
 
 /// One recovered mutation.

@@ -26,6 +26,48 @@ TEST(StatusTest, OkAndErrorStates) {
   EXPECT_EQ(err.ToString(), "NotFound: missing key");
 }
 
+TEST(StatusTest, EveryCodeHasConsistentFactoryPredicateAndName) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    bool (Status::*predicate)() const;
+    const char* name;
+  };
+  const Case kCases[] = {
+      {Status::NotFound("m"), StatusCode::kNotFound, &Status::IsNotFound,
+       "NotFound"},
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       &Status::IsInvalidArgument, "InvalidArgument"},
+      {Status::Corruption("m"), StatusCode::kCorruption, &Status::IsCorruption,
+       "Corruption"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       &Status::IsAlreadyExists, "AlreadyExists"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       &Status::IsFailedPrecondition, "FailedPrecondition"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable,
+       &Status::IsUnavailable, "Unavailable"},
+      {Status::Timeout("m"), StatusCode::kTimeout, &Status::IsTimeout,
+       "Timeout"},
+      {Status::Internal("m"), StatusCode::kInternal, &Status::IsInternal,
+       "Internal"},
+      {Status::PermissionDenied("m"), StatusCode::kPermissionDenied,
+       &Status::IsPermissionDenied, "PermissionDenied"},
+  };
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  for (const Case& c : kCases) {
+    EXPECT_FALSE(c.status.ok()) << c.name;
+    EXPECT_EQ(c.status.code(), c.code) << c.name;
+    EXPECT_TRUE((c.status.*c.predicate)()) << c.name;
+    EXPECT_STREQ(StatusCodeName(c.code), c.name);
+    EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+    // Each predicate matches exactly its own code.
+    for (const Case& other : kCases) {
+      if (other.code == c.code) continue;
+      EXPECT_FALSE((other.status.*c.predicate)()) << c.name;
+    }
+  }
+}
+
 TEST(StatusTest, ResultHoldsValueOrError) {
   Result<int> value(42);
   ASSERT_TRUE(value.ok());

@@ -47,9 +47,9 @@ TEST(FaultInjectionTest, CrashedStatelessNodesDontStallRounds) {
     }
   }
   sys.Run(9);
-  EXPECT_EQ(sys.metrics().committed_blocks, 12u);  // Rounds keep closing.
-  EXPECT_GT(sys.metrics().committed_intra_txs, 0u);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_EQ(sys.metrics().committed_blocks(), 12u);  // Rounds keep closing.
+  EXPECT_GT(sys.metrics().committed_intra_txs(), 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 TEST(FaultInjectionTest, WitnessPhaseBlocksUnavailableBodies) {
@@ -70,11 +70,11 @@ TEST(FaultInjectionTest, WitnessPhaseBlocksUnavailableBodies) {
     sys.SubmitTransaction(t);
   }
   sys.Run(8, net::FromSeconds(300));
-  EXPECT_EQ(sys.metrics().committed_intra_txs, 0u);
-  EXPECT_EQ(sys.metrics().committed_cross_txs, 0u);
+  EXPECT_EQ(sys.metrics().committed_intra_txs(), 0u);
+  EXPECT_EQ(sys.metrics().committed_cross_txs(), 0u);
   // Whatever blocks exist (if any) are empty ones.
-  EXPECT_EQ(sys.metrics().empty_rounds, sys.metrics().committed_blocks);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_EQ(sys.metrics().empty_rounds(), sys.metrics().committed_blocks());
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 TEST(FaultInjectionTest, DropFilterCensorshipDegradesButDoesNotCorrupt) {
@@ -93,10 +93,10 @@ TEST(FaultInjectionTest, DropFilterCensorshipDegradesButDoesNotCorrupt) {
     for (const auto& t : gen.Batch(150)) sys.SubmitTransaction(t);
     sys.Run(1);
   }
-  EXPECT_GT(sys.metrics().committed_intra_txs +
-                sys.metrics().committed_cross_txs,
+  EXPECT_GT(sys.metrics().committed_intra_txs() +
+                sys.metrics().committed_cross_txs(),
             0u);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 
   uint64_t total = 0;
   for (uint64_t id = 1; id <= 10'000; ++id) {
@@ -124,9 +124,9 @@ TEST(FaultInjectionTest, CrashedStorageMinorityIsRoutedAround) {
   sys.Run(2);
   sys.network()->SetCrashed(sys.storage_node(3)->net_id(), true);
   sys.Run(10, net::FromSeconds(300));
-  EXPECT_GT(sys.metrics().committed_blocks, 8u);
-  EXPECT_GT(sys.metrics().committed_intra_txs, 0u);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_GT(sys.metrics().committed_blocks(), 8u);
+  EXPECT_GT(sys.metrics().committed_intra_txs(), 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 TEST(FaultInjectionTest, LateJoinerSeesConsistentChainTip) {
@@ -154,7 +154,7 @@ TEST(FaultInjectionTest, LateJoinerSeesConsistentChainTip) {
   // And the canonical state agrees with the final committed roots once the
   // pipeline drains (last block's roots reflect executions two rounds back,
   // so compare against the matching cached roots instead of blind equality).
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 }  // namespace

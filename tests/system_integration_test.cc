@@ -44,16 +44,16 @@ TEST(SystemIntegrationTest, CommitsIntraShardTransactions) {
   int submitted = 0;
   for (uint64_t from = 1; from <= 20; ++from) {
     uint64_t to = from + 20;  // Same parity -> same shard.
-    ASSERT_TRUE(sys.SubmitTransaction(Transfer(from, to, 5, 0)));
+    ASSERT_TRUE(sys.SubmitTransaction(Transfer(from, to, 5, 0)).ok());
     ++submitted;
   }
 
   sys.Run(10);
-  const SystemMetrics& m = sys.metrics();
-  EXPECT_EQ(m.committed_blocks, 10u);
-  EXPECT_EQ(m.committed_intra_txs, static_cast<uint64_t>(submitted));
-  EXPECT_EQ(m.replay_mismatches, 0u);
-  EXPECT_EQ(m.failed_txs, 0u);
+  const SystemMetrics m = sys.metrics();
+  EXPECT_EQ(m.committed_blocks(), 10u);
+  EXPECT_EQ(m.committed_intra_txs(), static_cast<uint64_t>(submitted));
+  EXPECT_EQ(m.replay_mismatches(), 0u);
+  EXPECT_EQ(m.failed_txs(), 0u);
 
   // The canonical state reflects the transfers.
   for (uint64_t from = 1; from <= 20; ++from) {
@@ -71,14 +71,14 @@ TEST(SystemIntegrationTest, CommitsCrossShardTransactions) {
   int submitted = 0;
   for (uint64_t from = 1; from <= 10; ++from) {
     uint64_t to = from + 21;  // Different parity -> other shard.
-    ASSERT_TRUE(sys.SubmitTransaction(Transfer(from, to, 7, 0)));
+    ASSERT_TRUE(sys.SubmitTransaction(Transfer(from, to, 7, 0)).ok());
     ++submitted;
   }
 
   sys.Run(12);
-  const SystemMetrics& m = sys.metrics();
-  EXPECT_EQ(m.committed_cross_txs, static_cast<uint64_t>(submitted));
-  EXPECT_EQ(m.replay_mismatches, 0u);
+  const SystemMetrics m = sys.metrics();
+  EXPECT_EQ(m.committed_cross_txs(), static_cast<uint64_t>(submitted));
+  EXPECT_EQ(m.replay_mismatches(), 0u);
 
   for (uint64_t from = 1; from <= 10; ++from) {
     EXPECT_EQ(sys.canonical_state().GetOrDefault(from).balance, 9'993u);
@@ -97,16 +97,16 @@ TEST(SystemIntegrationTest, MixedWorkloadConservesTotalBalance) {
     uint64_t from = 1 + rng.NextBelow(60);
     uint64_t to = 1 + rng.NextBelow(60);
     if (from == to) continue;
-    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from]))) {
+    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from])).ok()) {
       ++nonces[from];
       ++submitted;
     }
   }
   sys.Run(14);
 
-  const SystemMetrics& m = sys.metrics();
-  EXPECT_GT(m.committed_intra_txs + m.committed_cross_txs, 0u);
-  EXPECT_EQ(m.replay_mismatches, 0u);
+  const SystemMetrics m = sys.metrics();
+  EXPECT_GT(m.committed_intra_txs() + m.committed_cross_txs(), 0u);
+  EXPECT_EQ(m.replay_mismatches(), 0u);
 
   uint64_t total = 0;
   for (uint64_t id = 1; id <= 60; ++id) {
@@ -123,17 +123,17 @@ TEST(SystemIntegrationTest, LatenciesFollowThePipelineSchedule) {
     sys.SubmitTransaction(Transfer(from, from + 20, 1, 0));
   }
   sys.Run(10);
-  const SystemMetrics& m = sys.metrics();
-  ASSERT_FALSE(m.block_latencies_s.empty());
-  ASSERT_FALSE(m.commit_latencies_s.empty());
-  double block = SystemMetrics::Mean(m.block_latencies_s);
-  double commit = SystemMetrics::Mean(m.commit_latencies_s);
+  const SystemMetrics m = sys.metrics();
+  ASSERT_GT(m.BlockLatency().count, 0u);
+  ASSERT_GT(m.CommitLatency().count, 0u);
+  double block = m.BlockLatency().mean;
+  double commit = m.CommitLatency().mean;
   // Intra-shard txs commit 3 rounds after witnessing (§IV-D2): the
   // commit latency is roughly 3-4 block intervals.
   EXPECT_GT(commit, 2.0 * block);
   EXPECT_LT(commit, 5.5 * block);
   // User-perceived latency includes mempool wait, so it is larger still.
-  EXPECT_GE(SystemMetrics::Mean(m.user_latencies_s), commit);
+  EXPECT_GE(m.UserLatency().mean, commit);
 }
 
 TEST(SystemIntegrationTest, RunsWithFourShards) {
@@ -149,15 +149,15 @@ TEST(SystemIntegrationTest, RunsWithFourShards) {
     uint64_t from = 1 + rng.NextBelow(80);
     uint64_t to = 1 + rng.NextBelow(80);
     if (from == to) continue;
-    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from]))) {
+    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from])).ok()) {
       ++nonces[from];
     }
   }
   sys.Run(14);
-  EXPECT_GT(sys.metrics().committed_intra_txs +
-                sys.metrics().committed_cross_txs,
+  EXPECT_GT(sys.metrics().committed_intra_txs() +
+                sys.metrics().committed_cross_txs(),
             0u);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 TEST(SystemIntegrationTest, DeterministicAcrossRuns) {
@@ -168,8 +168,8 @@ TEST(SystemIntegrationTest, DeterministicAcrossRuns) {
       sys.SubmitTransaction(Transfer(from, from + 20, 3, 0));
     }
     sys.Run(8);
-    return std::make_tuple(sys.metrics().committed_intra_txs,
-                           sys.metrics().committed_cross_txs,
+    return std::make_tuple(sys.metrics().committed_intra_txs(),
+                           sys.metrics().committed_cross_txs(),
                            sys.canonical_state().GlobalRoot(),
                            sys.sim_seconds());
   };
@@ -191,8 +191,8 @@ TEST(SystemIntegrationTest, FaithfulExecutionMatchesFastPath) {
       sys.SubmitTransaction(Transfer(from + 20, from + 1, 2, 0));  // Cross.
     }
     sys.Run(12);
-    return std::make_pair(sys.metrics().committed_intra_txs +
-                              sys.metrics().committed_cross_txs,
+    return std::make_pair(sys.metrics().committed_intra_txs() +
+                              sys.metrics().committed_cross_txs(),
                           sys.canonical_state().GlobalRoot());
   };
   auto fast = run_with(false);
@@ -215,8 +215,8 @@ TEST(SystemIntegrationTest, MaliciousStorageCannotStallHonestBlocks) {
   sys.Run(12);
   // Roughly 1/3 of transactions landed in the malicious node's mempool and
   // never became available; the rest commit.
-  EXPECT_GT(sys.metrics().committed_intra_txs, 8u);
-  EXPECT_EQ(sys.metrics().replay_mismatches, 0u);
+  EXPECT_GT(sys.metrics().committed_intra_txs(), 8u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
 }
 
 TEST(SystemIntegrationTest, ToleratesSilentStatelessMinority) {
@@ -229,7 +229,7 @@ TEST(SystemIntegrationTest, ToleratesSilentStatelessMinority) {
     sys.SubmitTransaction(Transfer(from, from + 20, 1, 0));
   }
   sys.Run(12);
-  EXPECT_GT(sys.metrics().committed_intra_txs, 0u);
+  EXPECT_GT(sys.metrics().committed_intra_txs(), 0u);
 }
 
 TEST(SystemIntegrationTest, StatelessFootprintStaysFlat) {
@@ -241,7 +241,7 @@ TEST(SystemIntegrationTest, StatelessFootprintStaysFlat) {
     uint64_t from = 1 + rng.NextBelow(40);
     uint64_t to = 1 + rng.NextBelow(40);
     if (from == to) continue;
-    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from]))) {
+    if (sys.SubmitTransaction(Transfer(from, to, 1, nonces[from])).ok()) {
       ++nonces[from];
     }
   }
@@ -250,6 +250,79 @@ TEST(SystemIntegrationTest, StatelessFootprintStaysFlat) {
   for (int i = 0; i < sys.num_stateless_nodes(); ++i) {
     EXPECT_LT(sys.stateless_node(i)->StorageFootprintBytes(), 6u << 20);
   }
+}
+
+TEST(SystemIntegrationTest, SubmitTransactionReportsRejections) {
+  PorygonSystem sys(SmallOptions());
+  sys.CreateAccounts(40, 10'000);
+
+  EXPECT_TRUE(sys.SubmitTransaction(Transfer(1, 21, 5, 0)).ok());
+
+  // Resubmitting the identical transaction is a duplicate.
+  Status dup = sys.SubmitTransaction(Transfer(1, 21, 5, 0));
+  EXPECT_TRUE(dup.IsAlreadyExists());
+
+  // Malformed transactions never reach the mempool.
+  EXPECT_TRUE(sys.SubmitTransaction(Transfer(0, 21, 5, 0)).IsInvalidArgument());
+  EXPECT_TRUE(sys.SubmitTransaction(Transfer(1, 0, 5, 0)).IsInvalidArgument());
+  EXPECT_TRUE(sys.SubmitTransaction(Transfer(7, 7, 5, 0)).IsInvalidArgument());
+
+  // Rejections are visible in the registry.
+  const obs::MetricsRegistry* reg = sys.metrics_registry();
+  EXPECT_EQ(reg->CounterValue("porygon.rejected_txs",
+                              {{"reason", "duplicate"}}),
+            1u);
+  EXPECT_EQ(reg->CounterValue("porygon.rejected_txs", {{"reason", "invalid"}}),
+            3u);
+  EXPECT_EQ(reg->CounterValue("porygon.submitted_txs", {}), 1u);
+}
+
+TEST(SystemIntegrationTest, OptionsValidateCatchesBadConfigs) {
+  EXPECT_TRUE(SmallOptions().Validate().ok());
+
+  SystemOptions opt = SmallOptions();
+  opt.num_stateless_nodes = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+
+  opt = SmallOptions();
+  opt.oc_size = opt.num_stateless_nodes + 1;  // OC cannot exceed population.
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+
+  opt = SmallOptions();
+  opt.malicious_stateless_fraction = 1.5;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+
+  opt = SmallOptions();
+  opt.params.block_tx_limit = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+
+  opt = SmallOptions();
+  opt.mean_session_s = -1.0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(SystemIntegrationTest, MetricsExportIsDeterministic) {
+  auto export_once = [] {
+    PorygonSystem sys(SmallOptions());
+    sys.CreateAccounts(40, 10'000);
+    for (uint64_t from = 1; from <= 12; ++from) {
+      (void)sys.SubmitTransaction(Transfer(from, from + 20, 3, 0));
+      (void)sys.SubmitTransaction(Transfer(from + 20, from + 1, 2, 0));
+    }
+    sys.Run(10);
+    return std::make_pair(sys.metrics().ToJson(), sys.metrics().ToCsv());
+  };
+  auto a = export_once();
+  auto b = export_once();
+  EXPECT_EQ(a.first, b.first);    // Byte-identical JSON.
+  EXPECT_EQ(a.second, b.second);  // Byte-identical CSV.
+
+  // The export covers all instrumented layers.
+  EXPECT_NE(a.first.find("net.sent_bytes"), std::string::npos);
+  EXPECT_NE(a.first.find("porygon.phase_seconds"), std::string::npos);
+  EXPECT_NE(a.first.find("db.wal_bytes"), std::string::npos);
+  EXPECT_NE(a.first.find("consensus.decisions"), std::string::npos);
+  EXPECT_NE(a.first.find("\"p99\""), std::string::npos);
 }
 
 }  // namespace
