@@ -126,6 +126,31 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
   return written == json.size();
 }
 
+/// Parses `--trace-out=<file>` from argv; empty string when absent. A
+/// non-empty result means the harness should enable SystemOptions::trace
+/// and export with WriteTraceJson after the run.
+inline std::string TraceOutArg(int argc, char** argv) {
+  const std::string prefix = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+/// Dumps the system's span buffer as Chrome trace_event JSON to `path` —
+/// open it at https://ui.perfetto.dev. Empty unless the run was configured
+/// with SystemOptions::trace.enabled. Deterministic: same seed and config
+/// produce byte-identical files.
+inline bool WriteTraceJson(core::PorygonSystem* sys, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::string json = sys->tracer()->ExportChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
 }  // namespace porygon::bench
 
 #endif  // PORYGON_BENCH_BENCH_UTIL_H_

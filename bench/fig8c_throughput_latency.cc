@@ -6,8 +6,10 @@
 //
 // Also writes the full metrics registry of the last (highest-load) Porygon
 // run as JSON — per-phase network bytes, phase-duration histograms with
-// p50/p95/p99, and storage-engine counters — to argv[1], defaulting to
-// fig8c.metrics.json.
+// p50/p95/p99, and storage-engine counters — to the first positional
+// argument, defaulting to fig8c.metrics.json. With --trace-out=<file>, the
+// last Porygon run additionally records distributed-tracing spans and
+// exports them as Perfetto-loadable Chrome trace JSON.
 
 #include "baselines/blockene.h"
 #include "baselines/byshard.h"
@@ -22,10 +24,17 @@ int main(int argc, char** argv) {
 
   const int shard_bits = 3;  // 8 shards.
   const int rounds = 8;
-  const std::string metrics_path =
-      argc > 1 ? argv[1] : "fig8c.metrics.json";
+  const std::string trace_path = bench::TraceOutArg(argc, argv);
+  std::string metrics_path = "fig8c.metrics.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
+      metrics_path = argv[i];
+      break;
+    }
+  }
 
   for (double offered : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    const bool last = offered == 8000.0;
     core::SystemOptions opt;
     opt.params.shard_bits = shard_bits;
     opt.params.witness_threshold = 2;
@@ -36,6 +45,7 @@ int main(int argc, char** argv) {
     opt.oc_size = 10;
     opt.blocks_per_shard_round = 2;
     opt.seed = 33;
+    opt.trace.enabled = last && !trace_path.empty();
     core::PorygonSystem sys(opt);
     sys.CreateAccounts(1'000'000, 1'000'000);
     workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
@@ -46,8 +56,12 @@ int main(int argc, char** argv) {
                                 /*est_round_s=*/5.0);
     bench::PrintRow({"Porygon", bench::FmtInt(offered), bench::FmtInt(r.tps),
                      bench::Fmt(r.user_latency_s)});
-    if (offered == 8000.0 && bench::WriteMetricsJson(sys, metrics_path)) {
+    if (last && bench::WriteMetricsJson(sys, metrics_path)) {
       std::printf("  (metrics export: %s)\n", metrics_path.c_str());
+    }
+    if (last && !trace_path.empty() &&
+        bench::WriteTraceJson(&sys, trace_path)) {
+      std::printf("  (trace export: %s)\n", trace_path.c_str());
     }
   }
 

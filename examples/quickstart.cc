@@ -3,13 +3,23 @@
 // inspect the committed chain and state.
 //
 //   ./example_quickstart
+//   ./example_quickstart --trace-out=quickstart.trace.json
+//
+// The second form records sim-time lifecycle spans for the submitted
+// transactions and writes Chrome trace_event JSON — open the file at
+// https://ui.perfetto.dev to see the pipeline. Deterministic: re-running
+// with the same seed produces a byte-identical file.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_util.h"
 #include "core/system.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace porygon;
+
+  const std::string trace_path = bench::TraceOutArg(argc, argv);
 
   // 1. Configure a small deployment. Thresholds are scaled down to the
   // committee sizes a 26-node network can form.
@@ -22,6 +32,7 @@ int main() {
   options.num_stateless_nodes = 26;
   options.oc_size = 4;
   options.seed = 7;
+  options.trace.enabled = !trace_path.empty();
 
   core::PorygonSystem system(options);
 
@@ -82,5 +93,11 @@ int main() {
   std::printf("chain height: %zu, tip state root: %s\n",
               system.chain().size() - 1,
               crypto::HashToHex(system.chain().back().state_root).c_str());
+
+  // 6. Optional: export the distributed trace for Perfetto.
+  if (!trace_path.empty() && bench::WriteTraceJson(&system, trace_path)) {
+    std::printf("trace: %s (%zu spans; open at https://ui.perfetto.dev)\n",
+                trace_path.c_str(), system.tracer()->span_count());
+  }
   return 0;
 }

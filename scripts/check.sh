@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the test suite — first a
+# plain build, then (unless PORYGON_SKIP_SANITIZERS=1) an ASan+UBSan build.
+#
+#   scripts/check.sh              # plain + sanitized
+#   PORYGON_SKIP_SANITIZERS=1 scripts/check.sh
+#
+# Build trees live under build/ (plain, reused from a normal checkout) and
+# build-asan/ so the two configurations never share object files.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+echo "== plain build + ctest =="
+run_suite build
+
+if [[ "${PORYGON_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "== address,undefined sanitized build + ctest =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    run_suite build-asan -DPORYGON_SANITIZE=address,undefined
+fi
+
+echo "check.sh: all suites passed"

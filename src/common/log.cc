@@ -2,11 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
 
 namespace porygon {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+Logger::Clock& GlobalClock() {
+  static Logger::Clock clock;
+  return clock;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,8 +35,21 @@ void Logger::set_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
-void Logger::Write(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+void Logger::SetClock(Clock clock) { GlobalClock() = std::move(clock); }
+
+void Logger::Write(LogLevel level, const std::string& node,
+                   const std::string& msg) {
+  char stamp[40];
+  stamp[0] = '\0';
+  if (const Clock& clock = GlobalClock()) {
+    std::snprintf(stamp, sizeof(stamp), "[t=%.6fs] ", clock());
+  }
+  if (node.empty()) {
+    std::fprintf(stderr, "%s[%s] %s\n", stamp, LevelName(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "%s[%s] [%s] %s\n", stamp, LevelName(level),
+                 node.c_str(), msg.c_str());
+  }
 }
 
 }  // namespace porygon

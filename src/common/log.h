@@ -1,6 +1,7 @@
 #ifndef PORYGON_COMMON_LOG_H_
 #define PORYGON_COMMON_LOG_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,18 +12,40 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Minimal leveled logger writing to stderr. Simulations of 100k nodes emit a
 /// lot of events, so the default level is Warn; benches and examples raise it
 /// explicitly where narration helps.
+///
+/// A simulation installs a clock (sim seconds) via SetClock so every line is
+/// stamped with the virtual time it was emitted at — the only way log output
+/// can be correlated with the discrete-event schedule. PORYGON_LOG_NODE
+/// additionally tags the line with the emitting node.
 class Logger {
  public:
+  /// Returns the current time in (simulated) seconds.
+  using Clock = std::function<double()>;
+
   static LogLevel level();
   static void set_level(LogLevel level);
-  static void Write(LogLevel level, const std::string& msg);
+
+  /// Installs (or, with nullptr, removes) the clock stamping log lines.
+  /// Whoever installs a clock must remove it before the clock's backing
+  /// state dies (PorygonSystem does this in its destructor). Installation is
+  /// not synchronized: install before concurrent logging starts.
+  static void SetClock(Clock clock);
+
+  static void Write(LogLevel level, const std::string& msg) {
+    Write(level, std::string(), msg);
+  }
+  /// `node` tags the emitting actor ("storage0", "stateless42"); empty means
+  /// no tag.
+  static void Write(LogLevel level, const std::string& node,
+                    const std::string& msg);
 };
 
 namespace log_internal {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Logger::Write(level_, stream_.str()); }
+  explicit LogLine(LogLevel level, std::string node = {})
+      : level_(level), node_(std::move(node)) {}
+  ~LogLine() { Logger::Write(level_, node_, stream_.str()); }
   template <typename T>
   LogLine& operator<<(const T& v) {
     stream_ << v;
@@ -31,6 +54,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string node_;
   std::ostringstream stream_;
 };
 }  // namespace log_internal
@@ -40,6 +64,12 @@ class LogLine {
     ;                                                                \
   else                                                               \
     ::porygon::log_internal::LogLine(::porygon::LogLevel::severity)
+
+#define PORYGON_LOG_NODE(severity, node)                             \
+  if (::porygon::LogLevel::severity < ::porygon::Logger::level())    \
+    ;                                                                \
+  else                                                               \
+    ::porygon::log_internal::LogLine(::porygon::LogLevel::severity, (node))
 
 }  // namespace porygon
 

@@ -76,6 +76,9 @@ void BaStar::Propose(uint64_t instance, const crypto::Hash256& proposal) {
   instance_ = instance;
   proposal_ = proposal;
   if (instruments_.instances != nullptr) instruments_.instances->Increment();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    trace_span_ = tracer_->BeginSpan(trace_ctx_, "ba_star", trace_node_);
+  }
   CastVote(Vote::kSoft, proposal_);
 }
 
@@ -128,6 +131,10 @@ void BaStar::Count(const Vote& vote) {
     decided_ = true;
     decision_value_ = vote.value;
     if (instruments_.decisions != nullptr) instruments_.decisions->Increment();
+    if (tracer_ != nullptr && trace_span_ != 0) {
+      tracer_->EndSpan(trace_span_);
+      trace_span_ = 0;
+    }
     DecisionCert cert;
     cert.instance = instance_;
     cert.value = vote.value;

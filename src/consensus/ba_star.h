@@ -12,6 +12,7 @@
 #include "crypto/provider.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace porygon::consensus {
 
@@ -81,6 +82,17 @@ class BaStar {
     instruments_ = instruments;
   }
 
+  /// Optional distributed tracing: this instance records a "ba_star" span
+  /// (Propose -> decision) into `ctx`'s trace, attributed to `node`. Each
+  /// committee member's instance contributes its own span, so the round
+  /// lane shows consensus progress per node.
+  void set_trace(obs::Tracer* tracer, const obs::TraceContext& ctx,
+                 std::string node) {
+    tracer_ = tracer;
+    trace_ctx_ = ctx;
+    trace_node_ = std::move(node);
+  }
+
   /// Starts the instance by soft-voting `proposal` at step 0.
   void Propose(uint64_t instance, const crypto::Hash256& proposal);
 
@@ -105,6 +117,10 @@ class BaStar {
   crypto::CryptoProvider* provider_;
   crypto::KeyPair identity_;
   Instruments instruments_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceContext trace_ctx_;
+  std::string trace_node_;
+  uint64_t trace_span_ = 0;
   std::vector<crypto::PublicKey> committee_;
   VoteBroadcast broadcast_;
   Decision on_decision_;

@@ -66,6 +66,10 @@ CrossShardCoordinator::FilterResult CrossShardCoordinator::FilterAndLock(
         }
       }
     }
+    if (tracing()) {
+      batch.sse_span = tracer_->BeginSpan(tracer_->RoundContext(round),
+                                          "sse", trace_node_);
+    }
     in_flight_[round] = std::move(batch);
   }
   return result;
@@ -98,6 +102,12 @@ std::vector<std::vector<StateUpdate>> CrossShardCoordinator::BuildUpdateList(
     // the pending-update bookkeeping below.
     ReleaseLocks(it->second);
     it->second.locked_accounts.clear();
+    if (tracing()) {
+      tracer_->EndSpan(it->second.sse_span);
+      it->second.sse_span = 0;
+      it->second.msu_span = tracer_->BeginSpan(
+          tracer_->RoundContext(round), "msu", trace_node_);
+    }
   }
   return per_shard;
 }
@@ -116,6 +126,7 @@ CrossShardCoordinator::OnShardUpdateResult(uint64_t round, uint32_t shard,
     for (bool done : batch.shard_done) all_done &= done;
     if (all_done) {
       ReleaseLocks(batch);
+      if (tracer_ != nullptr) tracer_->EndSpan(batch.msu_span);
       in_flight_.erase(it);
       outcome.resolved = true;
     }
@@ -134,6 +145,11 @@ CrossShardCoordinator::OnShardUpdateResult(uint64_t round, uint32_t shard,
         old);
   }
   ReleaseLocks(batch);
+  if (tracing()) {
+    tracer_->Instant(tracer_->RoundContext(batch.round), "msu_rollback",
+                     trace_node_);
+    tracer_->EndSpan(batch.msu_span);
+  }
   in_flight_.erase(it);
   return outcome;
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "state/account.h"
 #include "tx/blocks.h"
 #include "tx/transaction.h"
@@ -30,6 +31,17 @@ namespace porygon::core {
 class CrossShardCoordinator {
  public:
   CrossShardCoordinator(int shard_bits, int retry_rounds);
+
+  /// Optional distributed tracing. When armed, each cross-shard batch
+  /// contributes two round-lane spans attributed to `node` (the OC leader):
+  /// "sse" from lock acquisition (FilterAndLock) to S-set aggregation
+  /// (BuildUpdateList), then "msu" until the batch resolves in
+  /// OnShardUpdateResult (all shards applied, or rollback — the latter also
+  /// emits an "msu_rollback" instant).
+  void EnableTracing(obs::Tracer* tracer, std::string node) {
+    tracer_ = tracer;
+    trace_node_ = std::move(node);
+  }
 
   struct FilterResult {
     std::vector<tx::Transaction> accepted_intra;
@@ -91,12 +103,17 @@ class CrossShardCoordinator {
     std::vector<bool> shard_done;
     std::vector<state::AccountId> locked_accounts;
     int failed_rounds = 0;
+    uint64_t sse_span = 0;  // Open tracing spans (0 = none).
+    uint64_t msu_span = 0;
   };
 
   void ReleaseLocks(const InFlightBatch& batch);
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   int shard_bits_;
   int retry_rounds_;
+  obs::Tracer* tracer_ = nullptr;
+  std::string trace_node_;
   /// account -> round of the batch locking it.
   std::unordered_map<state::AccountId, uint64_t> locks_;
   /// batch round -> in-flight state.

@@ -436,6 +436,10 @@ Bytes Relay::Encode() const {
   enc.PutU32(dest);
   enc.PutU16(inner_kind);
   enc.PutBytes(inner);
+  if (trace.trace_id != 0) {
+    enc.PutU64(trace.trace_id);
+    enc.PutU64(trace.parent_span);
+  }
   return enc.TakeBuffer();
 }
 
@@ -448,6 +452,10 @@ Result<Relay> Relay::Decode(ByteView data) {
   PORYGON_ASSIGN_OR_RETURN(r.dest, dec.GetU32());
   PORYGON_ASSIGN_OR_RETURN(r.inner_kind, dec.GetU16());
   PORYGON_ASSIGN_OR_RETURN(r.inner, dec.GetBytes());
+  if (!dec.Done()) {
+    PORYGON_ASSIGN_OR_RETURN(r.trace.trace_id, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(r.trace.parent_span, dec.GetU64());
+  }
   if (!dec.Done()) return Status::Corruption("trailing relay bytes");
   return r;
 }

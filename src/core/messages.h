@@ -9,6 +9,7 @@
 #include "consensus/ba_star.h"
 #include "core/committee.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "state/account.h"
 #include "tx/blocks.h"
 #include "tx/transaction.h"
@@ -199,6 +200,11 @@ struct Relay {
   net::NodeId dest = net::kInvalidNode;
   uint16_t inner_kind = 0;
   Bytes inner;
+  /// Trace context of the sender, restored onto the forwarded message so a
+  /// trace survives the storage hop. Encoded as an optional tail only when
+  /// active: with tracing off the wire bytes (and thus all modeled timing)
+  /// are identical to an untraced build.
+  obs::TraceContext trace;
 
   static constexpr uint8_t kToNode = 0;
   static constexpr uint8_t kToOrderingCommittee = 1;

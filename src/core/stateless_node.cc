@@ -46,6 +46,7 @@ StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
     coordinator_ = std::make_unique<CrossShardCoordinator>(
         system_->params().shard_bits,
         system_->params().cross_shard_retry_rounds);
+    coordinator_->EnableTracing(system_->tracer(), TraceName());
   }
 }
 
@@ -63,37 +64,48 @@ uint64_t StatelessNodeActor::StorageFootprintBytes() const {
 }
 
 void StatelessNodeActor::SendToPrimary(uint16_t kind, Bytes payload,
-                                       size_t wire_size) {
+                                       size_t wire_size,
+                                       obs::TraceContext trace) {
   if (storages_.empty()) return;
   net::Message m;
   m.from = net_id_;
   m.to = storages_[0];
   m.kind = kind;
+  m.trace = trace;
   m.wire_size = wire_size != 0 ? wire_size : payload.size();
   m.payload = std::move(payload);
   system_->network()->Send(std::move(m));
 }
 
 void StatelessNodeActor::SendToAllStorages(uint16_t kind, const Bytes& payload,
-                                           size_t wire_size) {
+                                           size_t wire_size,
+                                           obs::TraceContext trace) {
   for (net::NodeId sid : storages_) {
     net::Message m;
     m.from = net_id_;
     m.to = sid;
     m.kind = kind;
+    m.trace = trace;
     m.payload = payload;
     m.wire_size = wire_size != 0 ? wire_size : payload.size();
     system_->network()->Send(std::move(m));
   }
 }
 
-void StatelessNodeActor::BroadcastToOc(uint16_t kind, const Bytes& payload) {
+void StatelessNodeActor::BroadcastToOc(uint16_t kind, const Bytes& payload,
+                                       obs::TraceContext trace) {
   Relay relay;
   relay.target = Relay::kToOrderingCommittee;
   relay.round = current_round_;
   relay.inner_kind = kind;
   relay.inner = payload;
-  SendToPrimary(kMsgRelay, relay.Encode());
+  relay.trace = trace;  // Restored onto the forwarded message by storage.
+  Bytes enc = relay.Encode();
+  // The optional 16-byte trace tail is observability metadata, not protocol
+  // traffic: bill the modeled wire at the untraced encoding size so enabling
+  // tracing never perturbs bandwidth or timing.
+  const size_t wire = enc.size() - (trace.active() ? 16 : 0);
+  SendToPrimary(kMsgRelay, std::move(enc), wire, trace);
 }
 
 void StatelessNodeActor::HandleMessage(const net::Message& msg) {
@@ -238,6 +250,11 @@ void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
     held_blocks_[key] = std::move(held);
   }
 
+  if (system_->tracer()->enabled() && msg.trace.active()) {
+    // One witness mark per EC member in the round lane the block rode in on.
+    system_->tracer()->Instant(msg.trace, "witness", TraceName());
+  }
+
   tx::WitnessProof proof;
   proof.block_id = block->header.Id();
   proof.witness = keys_.public_key;
@@ -263,6 +280,10 @@ void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
   ExecTask task;
   task.request = std::move(*req);
   task.started_round = current_round_;
+  if (system_->tracer()->enabled() && msg.trace.active()) {
+    task.trace_span =
+        system_->tracer()->BeginSpan(msg.trace, "exec", TraceName());
+  }
   exec_task_ = std::move(task);
 
   // Collect every account the batch touches (the pre-recorded access lists)
@@ -290,7 +311,7 @@ void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
   sreq.shard = exec_task_->request.shard;
   sreq.accounts.assign(accounts.begin(), accounts.end());
   exec_task_->state_requested = true;
-  SendToPrimary(kMsgStateRequest, sreq.Encode());
+  SendToPrimary(kMsgStateRequest, sreq.Encode(), 0, msg.trace);
 }
 
 void StatelessNodeActor::OnStateResponse(const net::Message& msg) {
@@ -389,7 +410,12 @@ void StatelessNodeActor::RunExecution() {
   result.signer = keys_.public_key;
   result.signature =
       system_->provider()->Sign(keys_.private_key, result.SigningBytes());
-  BroadcastToOc(kMsgExecResult, result.Encode());
+  obs::TraceContext lane;
+  if (exec_task_->trace_span != 0) {
+    lane = system_->tracer()->RoundContext(req.round);
+    system_->tracer()->EndSpan(exec_task_->trace_span);
+  }
+  BroadcastToOc(kMsgExecResult, result.Encode(), lane);
   exec_task_.reset();
 }
 
@@ -501,6 +527,20 @@ void StatelessNodeActor::MaybePropose() {
   // --- Cross-shard conflict filtering + locking (§IV-D2).
   auto filtered = coordinator_->FilterAndLock(r, round_txs);
   proposal.discarded = filtered.discarded;
+  if (system_->tracer()->enabled()) {
+    // Sampled transactions close their "ordering" span here (listed in the
+    // round-r proposal) or terminate with a "discarded" span.
+    const std::string name = TraceName();
+    for (const auto& t : filtered.accepted_intra) {
+      system_->TraceTxOrdered(t.Id(), r, /*accepted=*/true, name);
+    }
+    for (const auto& t : filtered.accepted_cross) {
+      system_->TraceTxOrdered(t.Id(), r, /*accepted=*/true, name);
+    }
+    for (const auto& id : filtered.discarded) {
+      system_->TraceTxOrdered(id, r, /*accepted=*/false, name);
+    }
+  }
 
   // --- Aggregate execution results of exec round r-2 (T and S).
   proposal.shard_roots = last_block_.shard_roots;
@@ -575,7 +615,9 @@ void StatelessNodeActor::MaybePropose() {
   pending_proposal_ = proposal;
   Bytes enc = proposal.Encode();
   proposals_seen_[IdKey(proposal.Hash())] = proposal;
-  BroadcastToOc(kMsgProposal, enc);
+  obs::TraceContext lane;
+  if (system_->tracer()->enabled()) lane = system_->tracer()->RoundContext(r);
+  BroadcastToOc(kMsgProposal, enc, lane);
   StartConsensus(proposal);
 }
 
@@ -585,20 +627,37 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
     ba_ = std::make_unique<consensus::BaStar>(
         system_->provider(), keys_, system_->oc_keys_,
         [this](const consensus::Vote& v) {
-          BroadcastToOc(kMsgVote, v.Encode());
+          obs::Tracer* tracer = system_->tracer();
+          obs::TraceContext lane;
+          if (tracer->enabled()) {
+            lane = tracer->RoundContext(v.instance);
+            tracer->Instant(lane, "vote", TraceName());
+          }
+          BroadcastToOc(kMsgVote, v.Encode(), lane);
         },
         [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
     ba_->set_instruments(system_->obs_.consensus);
+    if (system_->tracer()->enabled()) {
+      ba_->set_trace(system_->tracer(),
+                     system_->tracer()->RoundContext(current_round_),
+                     TraceName());
+    }
     ba_->Propose(current_round_, hash);
     for (const auto& v : pending_votes_) ba_->OnVote(v);
     pending_votes_.clear();
-    // Timeout driver: re-step while undecided.
+    // Timeout driver: re-step while undecided. The driver function holds
+    // itself only weakly — each scheduled event keeps a strong reference, so
+    // the chain dies with the last pending event instead of leaking through
+    // a shared_ptr cycle.
     auto schedule_timeout = std::make_shared<std::function<void(int)>>();
-    *schedule_timeout = [this, st = schedule_timeout,
+    *schedule_timeout = [this, wst = std::weak_ptr<std::function<void(int)>>(
+                                   schedule_timeout),
                          round = current_round_](int tries) {
       if (tries <= 0 || !ba_ || ba_->decided() || current_round_ != round) {
         return;
       }
+      std::shared_ptr<std::function<void(int)>> st = wst.lock();
+      if (!st) return;
       system_->events()->ScheduleAfter(
           system_->params().phase_interval_us, [this, st, tries, round] {
             if (ba_ && !ba_->decided() && current_round_ == round) {
@@ -644,7 +703,11 @@ void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
   auto it = proposals_seen_.find(IdKey(cert.value));
   if (it == proposals_seen_.end()) return;
   Bytes enc = it->second.Encode();
-  SendToAllStorages(kMsgCommit, enc, enc.size() + cert.WireSize());
+  obs::TraceContext lane;
+  if (system_->tracer()->enabled()) {
+    lane = system_->tracer()->RoundContext(cert.instance);
+  }
+  SendToAllStorages(kMsgCommit, enc, enc.size() + cert.WireSize(), lane);
 }
 
 }  // namespace porygon::core

@@ -78,12 +78,14 @@ void StorageNodeActor::OnRoundStart(uint64_t round) {
   // the committed proposal block B_{r-1}.
   const tx::ProposalBlock& prev = system_->chain().back();
   Bytes prev_enc = prev.Encode();
+  const bool tracing = system_->tracer()->enabled();
   for (const auto& node : system_->stateless_nodes_) {
     if (node->primary_storage() != net_id_) continue;
     net::Message m;
     m.from = net_id_;
     m.to = node->net_id();
     m.kind = kMsgNewRound;
+    if (tracing) m.trace = system_->tracer()->RoundContext(round);
     m.payload = prev_enc;
     // OC members track the full proposal block; everyone else only needs
     // the compact header (hash, round, thresholds) to run sortition —
@@ -183,6 +185,9 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
         m.from = net_id_;
         m.to = a->node_id;
         m.kind = kMsgTxBlock;
+        if (system_->tracer()->enabled()) {
+          m.trace = system_->tracer()->RoundContext(a->round);
+        }
         m.payload = outgoing.Encode();
         m.wire_size = outgoing.WireSize();
         system_->network()->Send(std::move(m));
@@ -207,6 +212,8 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
   const SystemOptions& opt = system_->options();
   net::SimNetwork* net = system_->network();
   const auto* reg = system_->RegistryFor(round);
+  obs::Tracer* tracer = system_->tracer();
+  const bool tracing = tracer->enabled();
 
   // --- Package new transaction blocks for batch `round` ------------------
   size_t quota = opt.blocks_per_shard_round / system_->num_storage_nodes();
@@ -226,6 +233,12 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
       if (block.transactions.empty()) break;
       system_->block_store_[IdKey(block.header.Id())] =
           PorygonSystem::StoredBlock{block, round};
+      if (tracing) {
+        // Sampled transactions close their "submit" (mempool wait) span.
+        for (const auto& t : block.transactions) {
+          system_->TraceTxPackaged(t, TraceName());
+        }
+      }
       fresh.push_back(std::move(block));
     }
   }
@@ -271,6 +284,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
         m.from = net_id_;
         m.to = member;
         m.kind = kMsgTxBlock;
+        if (tracing) m.trace = tracer->RoundContext(round);
         m.payload = enc;
         m.wire_size = outgoing.WireSize();
         net->Send(std::move(m));
@@ -312,6 +326,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
       m.from = net_id_;
       m.to = oc;
       m.kind = kMsgWitnessBundle;
+      if (tracing) m.trace = tracer->RoundContext(round - 1);
       m.payload = enc;
       m.wire_size = bundle.WireSize();
       net->Send(std::move(m));
@@ -352,6 +367,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
           m.from = net_id_;
           m.to = member;
           m.kind = kMsgExecRequest;
+          if (tracing) m.trace = tracer->RoundContext(req.round);
           m.payload = enc;
           m.wire_size = enc.size();
           net->Send(std::move(m));
@@ -388,6 +404,9 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
     uint64_t batch = std::max(stored->second.batch_round, up->round);
     witnessed_by_batch_[batch].push_back(up->proof.block_id);
     system_->RecordWitnessReached(batch);
+    if (system_->tracer()->enabled()) {
+      system_->TraceBlockWitnessed(up->proof.block_id, TraceName());
+    }
   }
 
   if (!from_gossip && !malicious_) {
@@ -414,6 +433,7 @@ void StorageNodeActor::OnRelay(const net::Message& msg) {
     m.from = net_id_;
     m.to = dest;
     m.kind = relay->inner_kind;
+    m.trace = relay->trace;  // The sender's trace survives the storage hop.
     m.payload = relay->inner;
     m.wire_size = relay->inner.size();
     net->Send(std::move(m));
@@ -442,6 +462,9 @@ void StorageNodeActor::OnRelay(const net::Message& msg) {
 void StorageNodeActor::OnStateRequest(const net::Message& msg) {
   auto req = StateRequest::Decode(msg.payload);
   if (!req.ok()) return;
+  if (system_->tracer()->enabled() && msg.trace.active()) {
+    system_->tracer()->Instant(msg.trace, "state_read", TraceName());
+  }
 
   const SystemOptions& opt = system_->options();
   StateResponse resp;
@@ -485,6 +508,10 @@ void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
   // Persist the proposal block (storage nodes keep the chain).
   (void)db_->Put(ToBytes("block/" + std::to_string(block->round)),
                  msg.payload);
+  if (system_->tracer()->enabled()) {
+    system_->tracer()->Instant(system_->tracer()->RoundContext(block->round),
+                               "apply_block", TraceName());
+  }
 
   system_->OnBlockCommitted(*block, system_->events()->now());
 

@@ -212,6 +212,13 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   obs_.consensus.decisions =
       metrics_registry_.GetCounter("consensus.decisions");
 
+  tracer_.Configure(options_.trace, [this] { return events_.now(); });
+  events_.EnableMetrics(&metrics_registry_);
+  // Stamp PORYGON_LOG lines with virtual time for the life of this system
+  // (cleared in the destructor; last-constructed system wins if several
+  // coexist, which only affects log cosmetics).
+  Logger::SetClock([this] { return sim_seconds(); });
+
   network_ = std::make_unique<net::SimNetwork>(&events_, rng_.Fork());
   network_->EnableMetrics(
       &metrics_registry_,
@@ -342,6 +349,8 @@ PorygonSystem::~PorygonSystem() {
   // Executions still in flight at teardown never completed; do not record
   // their partial durations.
   for (auto& [round, timer] : exec_timers_) timer.Cancel();
+  // The log clock captures this system's event queue; detach before it dies.
+  Logger::SetClock(nullptr);
 }
 
 const StatelessNodeActor* PorygonSystem::StatelessByNetId(
@@ -387,6 +396,7 @@ Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
     return Status::AlreadyExists("duplicate transaction");
   }
   obs_.submitted_txs->Increment();
+  if (tracer_.enabled()) TraceSubmit(t);
   return Status::Ok();
 }
 
@@ -486,6 +496,14 @@ void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
 
 void PorygonSystem::StartRound(uint64_t round) {
   round_start_times_[round] = events_.now();
+  if (tracer_.enabled()) {
+    // Open this round's lane: a "round" span covering start -> commit, with
+    // the witness phase as its first child (closed by RecordWitnessReached).
+    obs::TraceContext lane = tracer_.RoundContext(round);
+    round_spans_[round] = tracer_.BeginSpan(lane, "round", "system");
+    witness_spans_[round] =
+        tracer_.BeginSpan(RoundLane(round), "witness", "system");
+  }
   // Advance the canonical state. Fast mode leads by one round (results are
   // pre-computed for adopting ESCs); faithful mode lags so state requests
   // during this round serve the snapshot the executing ESC must see.
@@ -529,7 +547,16 @@ void PorygonSystem::OnBlockCommitted(const tx::ProposalBlock& block,
   auto decided = decision_times_.find(block.round);
   if (decided != decision_times_.end()) {
     obs_.phase_commit->Observe(net::ToSeconds(when - decided->second));
+    if (tracer_.enabled()) {
+      tracer_.RecordSpan(RoundLane(block.round), "commit", "system",
+                         decided->second, when);
+    }
     decision_times_.erase(decided);
+  }
+  // Close this round's lane.
+  if (auto rs = round_spans_.find(block.round); rs != round_spans_.end()) {
+    tracer_.EndSpan(rs->second);
+    round_spans_.erase(rs);
   }
 
   // Replay verification: committed roots must match the canonical replay
@@ -589,6 +616,7 @@ void PorygonSystem::MaybeScheduleNextRound() {
 void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
   const uint64_t r = block.round;
   const double now_s = net::ToSeconds(events_.now());
+  const bool tracing = tracer_.enabled();
 
   // Intra-shard transactions of the blocks listed in L_{r-2} finalize now
   // (their execution roots are committed in B_r): batch witnessed at round
@@ -613,6 +641,7 @@ void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
           if (discarded.count(tid) > 0) continue;
           if (failed != nullptr && failed->count(tid) > 0) {
             obs_.failed_txs->Increment();
+            if (tracing) TraceTxFinal(tid, want_cross, true, listing.round);
             continue;
           }
           if (want_cross) {
@@ -620,6 +649,7 @@ void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
           } else {
             obs_.committed_intra->Increment();
           }
+          if (tracing) TraceTxFinal(tid, want_cross, false, listing.round);
           obs_.user_latency->Observe(
               now_s - net::ToSeconds(static_cast<net::SimTime>(
                           t.submitted_at)));
@@ -638,6 +668,11 @@ void PorygonSystem::AccountCommittedBatch(const tx::ProposalBlock& block) {
   }
   if (r >= 4 && chain_.size() > r - 4) {
     account_list(chain_[r - 4], /*want_cross=*/true, /*exec_round=*/r - 4);
+  }
+  // Listings older than r-4 have had both their intra and cross commits.
+  while (!traced_by_listing_.empty() &&
+         traced_by_listing_.begin()->first + 4 < r) {
+    traced_by_listing_.erase(traced_by_listing_.begin());
   }
 }
 
@@ -683,6 +718,10 @@ void PorygonSystem::RecordWitnessReached(uint64_t batch_round) {
   // One sample per batch round: the first block of the batch to cross Tw
   // marks the end of the witness phase for that round.
   if (!witness_recorded_.insert(batch_round).second) return;
+  if (auto ws = witness_spans_.find(batch_round); ws != witness_spans_.end()) {
+    tracer_.EndSpan(ws->second);
+    witness_spans_.erase(ws);
+  }
   auto started = round_start_times_.find(batch_round);
   if (started == round_start_times_.end()) return;
   obs_.phase_witness->Observe(
@@ -701,6 +740,10 @@ void PorygonSystem::RecordOrderingDecision(uint64_t round) {
   if (started != round_start_times_.end()) {
     obs_.phase_ordering->Observe(
         net::ToSeconds(events_.now() - started->second));
+    if (tracer_.enabled()) {
+      tracer_.RecordSpan(RoundLane(round), "ordering", "system",
+                         started->second, events_.now());
+    }
   }
 }
 
@@ -711,6 +754,10 @@ void PorygonSystem::NoteExecPhaseStart(uint64_t exec_round) {
       exec_round,
       obs::PhaseTimer(obs_.phase_execution,
                       [this] { return sim_seconds(); }));
+  if (tracer_.enabled() && exec_spans_.count(exec_round) == 0) {
+    exec_spans_[exec_round] =
+        tracer_.BeginSpan(RoundLane(exec_round), "execution", "system");
+  }
 }
 
 void PorygonSystem::NoteExecPhaseEnd(uint64_t exec_round) {
@@ -718,6 +765,121 @@ void PorygonSystem::NoteExecPhaseEnd(uint64_t exec_round) {
   if (it == exec_timers_.end()) return;
   it->second.Stop();
   exec_timers_.erase(it);
+  if (auto es = exec_spans_.find(exec_round); es != exec_spans_.end()) {
+    tracer_.EndSpan(es->second);
+    exec_spans_.erase(es);
+  }
+  if (tracer_.enabled()) TraceListingExecuted(exec_round);
+}
+
+obs::TraceContext PorygonSystem::RoundLane(uint64_t round) {
+  obs::TraceContext lane = tracer_.RoundContext(round);
+  auto it = round_spans_.find(round);
+  if (it != round_spans_.end()) lane.parent_span = it->second;
+  return lane;
+}
+
+void PorygonSystem::TraceSubmit(const tx::Transaction& t) {
+  obs::TraceContext ctx = tracer_.NewTransactionTrace();
+  if (!ctx.active()) return;  // Sampling budget exhausted.
+  TxTraceState st;
+  st.ctx = ctx;
+  st.root_span = tracer_.BeginSpan(ctx, "tx", "client");
+  st.prev_end = events_.now();
+  traced_txs_[IdKey(t.Id())] = std::move(st);
+}
+
+void PorygonSystem::TraceTxPackaged(const tx::Transaction& t,
+                                    const std::string& node) {
+  auto it = traced_txs_.find(IdKey(t.Id()));
+  if (it == traced_txs_.end() || it->second.stage != 0) return;
+  TxTraceState& st = it->second;
+  const net::SimTime now = events_.now();
+  tracer_.RecordSpan(obs::Tracer::ChildOf(st.ctx, st.root_span), "submit",
+                     node, st.prev_end, now);
+  st.prev_end = now;
+  st.stage = 1;
+}
+
+void PorygonSystem::TraceBlockWitnessed(const tx::BlockId& block_id,
+                                        const std::string& node) {
+  if (traced_txs_.empty()) return;
+  auto stored = block_store_.find(IdKey(block_id));
+  if (stored == block_store_.end()) return;
+  const net::SimTime now = events_.now();
+  for (const auto& t : stored->second.block.transactions) {
+    auto it = traced_txs_.find(IdKey(t.Id()));
+    if (it == traced_txs_.end() || it->second.stage != 1) continue;
+    TxTraceState& st = it->second;
+    tracer_.RecordSpan(obs::Tracer::ChildOf(st.ctx, st.root_span), "witness",
+                       node, st.prev_end, now);
+    st.prev_end = now;
+    st.stage = 2;
+  }
+}
+
+void PorygonSystem::TraceTxOrdered(const tx::TxId& id, uint64_t listing_round,
+                                   bool accepted, const std::string& node) {
+  std::string tid = IdKey(id);
+  auto it = traced_txs_.find(tid);
+  if (it == traced_txs_.end()) return;
+  TxTraceState& st = it->second;
+  const net::SimTime now = events_.now();
+  obs::TraceContext child = obs::Tracer::ChildOf(st.ctx, st.root_span);
+  if (!accepted) {
+    // Conflict-discarded: terminal for this attempt (clients resubmit).
+    tracer_.RecordSpan(child, "discarded", node, st.prev_end, now);
+    tracer_.EndSpan(st.root_span);
+    traced_txs_.erase(it);
+    return;
+  }
+  if (st.stage != 2) return;
+  tracer_.RecordSpan(child, "ordering", node, st.prev_end, now);
+  st.prev_end = now;
+  st.stage = 3;
+  traced_by_listing_[listing_round].push_back(std::move(tid));
+}
+
+void PorygonSystem::TraceListingExecuted(uint64_t exec_round) {
+  auto listed = traced_by_listing_.find(exec_round);
+  if (listed == traced_by_listing_.end()) return;
+  const net::SimTime now = events_.now();
+  for (const std::string& tid : listed->second) {
+    auto it = traced_txs_.find(tid);
+    if (it == traced_txs_.end() || it->second.stage != 3) continue;
+    TxTraceState& st = it->second;
+    tracer_.RecordSpan(obs::Tracer::ChildOf(st.ctx, st.root_span), "sse",
+                       "oc", st.prev_end, now);
+    st.prev_end = now;
+    st.stage = 4;
+  }
+}
+
+void PorygonSystem::TraceTxFinal(const std::string& tid, bool cross,
+                                 bool failed, uint64_t listing_round) {
+  auto it = traced_txs_.find(tid);
+  if (it == traced_txs_.end()) return;
+  TxTraceState& st = it->second;
+  const net::SimTime now = events_.now();
+  obs::TraceContext child = obs::Tracer::ChildOf(st.ctx, st.root_span);
+  if (failed) {
+    tracer_.RecordSpan(child, "failed", "oc", st.prev_end, now);
+  } else if (cross) {
+    // The Multi-Shard Update ships with proposal L+2; its commit marks the
+    // hand-off from "msu" to final commit certification.
+    net::SimTime msu_end = now;
+    auto shipped = commit_times_.find(listing_round + 2);
+    if (shipped != commit_times_.end() && shipped->second > st.prev_end &&
+        shipped->second < now) {
+      msu_end = shipped->second;
+    }
+    tracer_.RecordSpan(child, "msu", "oc", st.prev_end, msu_end);
+    tracer_.RecordSpan(child, "commit", "oc", msu_end, now);
+  } else {
+    tracer_.RecordSpan(child, "commit", "oc", st.prev_end, now);
+  }
+  tracer_.EndSpan(st.root_span);
+  traced_txs_.erase(it);
 }
 
 net::SimTime PorygonSystem::DrawSessionEnd() {

@@ -67,6 +67,12 @@ struct SystemOptions {
   /// 50-block committees stall instead. The stable OC (long-lived per
   /// §IV-C2) is exempt.
   double mean_session_s = 0;
+  /// Sim-time distributed tracing (off by default; see obs/trace.h). When
+  /// `trace.enabled`, the run records lifecycle spans for the first
+  /// `trace.sample_transactions` submitted transactions plus always-on
+  /// per-round pipeline lanes, exportable as Chrome trace_event JSON via
+  /// PorygonSystem::tracer()->ExportChromeJson() (loads in Perfetto).
+  obs::Tracer::Options trace;
 
   /// Rejects nonsense configurations (negative counts, fractions outside
   /// [0,1], an OC larger than the stateless population, ...) with
@@ -167,6 +173,9 @@ class StorageNodeActor {
   void GossipToPeers(uint16_t inner_kind, const Bytes& payload,
                      size_t wire_size);
 
+  /// Node label on trace spans (only built when tracing is enabled).
+  std::string TraceName() const { return "storage" + std::to_string(index_); }
+
   PorygonSystem* system_;
   int index_;
   net::NodeId net_id_;
@@ -239,13 +248,18 @@ class StatelessNodeActor {
   void OnVote(const net::Message& msg);
   void OnExecResult(const net::Message& msg);
   void MaybePropose();
-  void BroadcastToOc(uint16_t kind, const Bytes& payload);
+  void BroadcastToOc(uint16_t kind, const Bytes& payload,
+                     obs::TraceContext trace = {});
   void StartConsensus(const tx::ProposalBlock& proposal);
   void OnDecision(const consensus::DecisionCert& cert);
 
-  void SendToPrimary(uint16_t kind, Bytes payload, size_t wire_size = 0);
+  void SendToPrimary(uint16_t kind, Bytes payload, size_t wire_size = 0,
+                     obs::TraceContext trace = {});
   void SendToAllStorages(uint16_t kind, const Bytes& payload,
-                         size_t wire_size = 0);
+                         size_t wire_size = 0, obs::TraceContext trace = {});
+
+  /// Node label on trace spans (only built when tracing is enabled).
+  std::string TraceName() const { return "node" + std::to_string(index_); }
 
   PorygonSystem* system_;
   int index_;
@@ -276,6 +290,7 @@ class StatelessNodeActor {
     uint64_t started_round = 0;
     bool state_requested = false;
     std::optional<StateResponse> state;
+    uint64_t trace_span = 0;  ///< Open "exec" span (0 = untraced).
   };
   std::optional<ExecTask> exec_task_;
 
@@ -328,6 +343,11 @@ class PorygonSystem {
   const obs::MetricsRegistry& metrics_registry() const {
     return metrics_registry_;
   }
+  /// The deployment's tracer (inert unless SystemOptions::trace.enabled).
+  /// Call tracer()->ExportChromeJson() after Run() for a Perfetto-loadable
+  /// trace of the sampled transactions and the per-round pipeline lanes.
+  obs::Tracer* tracer() { return &tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
   const std::vector<tx::ProposalBlock>& chain() const { return chain_; }
   const state::ShardedState& canonical_state() const { return *exec_state_; }
   net::SimNetwork* network() { return network_.get(); }
@@ -410,6 +430,33 @@ class PorygonSystem {
   void NoteExecPhaseStart(uint64_t exec_round);
   void NoteExecPhaseEnd(uint64_t exec_round);
 
+  // --- Distributed tracing ------------------------------------------------
+  // Sampled transactions carry a TxTraceState through the pipeline: a root
+  // "tx" span plus a chain of consecutive child spans (submit -> witness ->
+  // ordering -> sse [-> msu] -> commit), each starting where the previous
+  // one ended (`prev_end`), so the tree renders nested and non-overlapping.
+  // `stage` makes the hooks idempotent: gossip delivers witness thresholds
+  // and commits to every storage node, but only the first call advances.
+  // All hooks are no-ops when the transaction is not traced; actors guard
+  // calls with tracer_.enabled() so the disabled cost is one inline bool.
+  struct TxTraceState {
+    obs::TraceContext ctx;
+    uint64_t root_span = 0;
+    net::SimTime prev_end = 0;
+    int stage = 0;  // 0 submitted, 1 packaged, 2 witnessed, 3 ordered, 4 sse.
+  };
+  /// Round-lane context: spans parented under the open "round" span.
+  obs::TraceContext RoundLane(uint64_t round);
+  void TraceSubmit(const tx::Transaction& t);
+  void TraceTxPackaged(const tx::Transaction& t, const std::string& node);
+  void TraceBlockWitnessed(const tx::BlockId& block_id,
+                           const std::string& node);
+  void TraceTxOrdered(const tx::TxId& id, uint64_t listing_round,
+                      bool accepted, const std::string& node);
+  void TraceListingExecuted(uint64_t exec_round);
+  void TraceTxFinal(const std::string& tid, bool cross, bool failed,
+                    uint64_t listing_round);
+
   /// Hot-path instrument pointers, resolved once at construction so actors
   /// record without registry lookups.
   struct Instruments {
@@ -460,6 +507,16 @@ class PorygonSystem {
   // registry and must be destroyed first.
   obs::MetricsRegistry metrics_registry_;
   Instruments obs_;
+  // Tracer is declared with the registry (before the network and actors,
+  // which cache the pointer) and clocked off events_ — both outlive nothing
+  // that records into them.
+  obs::Tracer tracer_;
+  std::unordered_map<std::string, TxTraceState> traced_txs_;  // By tx id.
+  // Listing round -> traced tx ids listed there (drives sse/commit spans).
+  std::map<uint64_t, std::vector<std::string>> traced_by_listing_;
+  std::map<uint64_t, uint64_t> round_spans_;    // Open "round" lane spans.
+  std::map<uint64_t, uint64_t> witness_spans_;  // Open witness-phase spans.
+  std::map<uint64_t, uint64_t> exec_spans_;     // Open execution-phase spans.
   std::set<uint64_t> witness_recorded_;  // Batch rounds with a Tw sample.
   std::map<uint64_t, net::SimTime> decision_times_;
   std::map<uint64_t, obs::PhaseTimer> exec_timers_;

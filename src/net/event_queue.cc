@@ -4,9 +4,23 @@
 
 namespace porygon::net {
 
+void EventQueue::EnableMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    depth_gauge_ = nullptr;
+    drained_counter_ = nullptr;
+    return;
+  }
+  depth_gauge_ = registry->GetGauge("sim.event_queue_depth");
+  drained_counter_ = registry->GetCounter("sim.events_drained");
+  depth_gauge_->Set(static_cast<double>(queue_.size()));
+}
+
 void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_sequence_++, std::move(fn)});
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
 }
 
 void EventQueue::ScheduleAfter(SimTime delay, std::function<void()> fn) {
@@ -20,6 +34,10 @@ bool EventQueue::RunNext() {
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.time;
+  if (drained_counter_ != nullptr) {
+    drained_counter_->Increment();
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
   ev.fn();
   return true;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/sim_time.h"
+#include "obs/metrics.h"
 
 namespace porygon::net {
 
@@ -21,6 +22,11 @@ class EventQueue {
 
   /// Current virtual time.
   SimTime now() const { return now_; }
+
+  /// Mirrors scheduler activity into `registry`: the sim.event_queue_depth
+  /// gauge (pending events after every push/pop) and the sim.events_drained
+  /// counter (events executed). Passing nullptr disables mirroring.
+  void EnableMetrics(obs::MetricsRegistry* registry);
 
   /// Schedules `fn` to run at absolute time `t` (clamped to now).
   void ScheduleAt(SimTime t, std::function<void()> fn);
@@ -56,6 +62,8 @@ class EventQueue {
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* drained_counter_ = nullptr;
 };
 
 }  // namespace porygon::net

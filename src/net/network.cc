@@ -33,6 +33,9 @@ void SimNetwork::EnableMetrics(obs::MetricsRegistry* registry,
   dropped_counter_ =
       metrics_ != nullptr ? metrics_->GetCounter("net.dropped_messages")
                           : nullptr;
+  delivered_counter_ =
+      metrics_ != nullptr ? metrics_->GetCounter("net.delivered_messages")
+                          : nullptr;
 }
 
 SimNetwork::KindCounters& SimNetwork::CountersFor(uint32_t class_idx,
@@ -127,6 +130,7 @@ void SimNetwork::Send(Message msg) {
         counters.recv_messages->Increment();
       }
       ++messages_delivered_;
+      if (delivered_counter_ != nullptr) delivered_counter_->Increment();
       receiver.handler(msg);
     });
   });

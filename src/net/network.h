@@ -12,6 +12,7 @@
 #include "net/event_queue.h"
 #include "net/sim_time.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace porygon::net {
 
@@ -28,6 +29,10 @@ struct Message {
   uint16_t kind = 0;        ///< Protocol message type (per-protocol enum).
   Bytes payload;            ///< Decoded by the receiving actor.
   size_t wire_size = 0;     ///< Bytes charged to links (>= payload size).
+  /// Distributed-tracing context carried with the message (the simulated
+  /// analogue of a trace header). Not charged to the bandwidth model; an
+  /// inactive context (the default) means the message is untraced.
+  obs::TraceContext trace;
 };
 
 /// Per-node link capacity in bytes/second. The paper provisions stateless
@@ -140,6 +145,7 @@ class SimNetwork {
   std::function<std::string(uint16_t)> kind_name_;
   std::function<std::string(uint16_t)> phase_name_;
   obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
   std::unordered_map<uint32_t, KindCounters> counter_cache_;
 };
 

@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace porygon::obs {
+namespace {
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FormatI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+// Span/node names are identifiers we mint ourselves, but escape anyway so
+// the output is always valid JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::Configure(const Options& options, Clock clock) {
+  options_ = options;
+  clock_ = std::move(clock);
+  enabled_ = options_.enabled && clock_ != nullptr;
+}
+
+TraceContext Tracer::NewTransactionTrace() {
+  if (!enabled_ || next_tx_trace_ >= options_.sample_transactions) return {};
+  return TraceContext{++next_tx_trace_, 0};
+}
+
+TraceContext Tracer::RoundContext(uint64_t round) const {
+  if (!enabled_) return {};
+  return TraceContext{kRoundTraceBase + round, 0};
+}
+
+uint64_t Tracer::BeginSpan(const TraceContext& ctx, const char* name,
+                           const std::string& node) {
+  if (!enabled_ || !ctx.active()) return 0;
+  if (spans_.size() + open_.size() >= options_.max_spans) {
+    ++dropped_spans_;
+    return 0;
+  }
+  uint64_t id = ++next_span_;
+  open_.emplace(id, OpenSpan{ctx.trace_id, ctx.parent_span, name, node,
+                             now()});
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t span_id) {
+  if (span_id == 0) return;
+  auto it = open_.find(span_id);
+  if (it == open_.end()) return;
+  Span s;
+  s.trace_id = it->second.trace_id;
+  s.span_id = span_id;
+  s.parent_span = it->second.parent_span;
+  s.name = std::move(it->second.name);
+  s.node = std::move(it->second.node);
+  s.start = it->second.start;
+  s.end = now();
+  open_.erase(it);
+  spans_.push_back(std::move(s));
+}
+
+uint64_t Tracer::RecordSpan(const TraceContext& ctx, const char* name,
+                            const std::string& node, net::SimTime start,
+                            net::SimTime end) {
+  if (!enabled_ || !ctx.active()) return 0;
+  if (spans_.size() + open_.size() >= options_.max_spans) {
+    ++dropped_spans_;
+    return 0;
+  }
+  Span s;
+  s.trace_id = ctx.trace_id;
+  s.span_id = ++next_span_;
+  s.parent_span = ctx.parent_span;
+  s.name = name;
+  s.node = node;
+  s.start = start;
+  s.end = end < start ? start : end;
+  spans_.push_back(std::move(s));
+  return spans_.back().span_id;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  // Canonical event order: (trace, start, span id). Span ids are assigned in
+  // event order, which is deterministic for a deterministic simulation, so
+  // the sort (and therefore the bytes) is a pure function of the run.
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans_.size());
+  for (const Span& s : spans_) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(), [](const Span* a, const Span* b) {
+    if (a->trace_id != b->trace_id) return a->trace_id < b->trace_id;
+    if (a->start != b->start) return a->start < b->start;
+    return a->span_id < b->span_id;
+  });
+
+  // pid = trace id, tid = node. Chrome tids are numbers; map node labels to
+  // dense ids in sorted-name order and name both via metadata events.
+  std::map<std::string, uint64_t> node_tid;
+  for (const Span& s : spans_) node_tid.emplace(s.node, 0);
+  std::vector<std::string> tid_node(node_tid.size() + 1);
+  uint64_t next_tid = 1;
+  for (auto& [node, tid] : node_tid) {
+    tid = next_tid++;
+    tid_node[tid] = node;
+  }
+
+  std::set<uint64_t> pids;
+  std::set<std::pair<uint64_t, uint64_t>> pid_tids;
+  for (const Span* s : ordered) {
+    pids.insert(s->trace_id);
+    pid_tids.insert({s->trace_id, node_tid[s->node]});
+  }
+
+  auto trace_name = [](uint64_t trace_id) -> std::string {
+    if (trace_id >= kRoundTraceBase) {
+      return "round " + FormatU64(trace_id - kRoundTraceBase);
+    }
+    return "tx " + FormatU64(trace_id);
+  };
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n";
+  };
+
+  for (uint64_t pid : pids) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           FormatU64(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+           JsonEscape(trace_name(pid)) + "\"}}";
+  }
+  for (const auto& [pid, tid] : pid_tids) {
+    const std::string& node = tid_node[tid];
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           FormatU64(pid) + ",\"tid\":" + FormatU64(tid) +
+           ",\"args\":{\"name\":\"" + JsonEscape(node) + "\"}}";
+  }
+
+  for (const Span* s : ordered) {
+    comma();
+    const bool instant = s->end == s->start;
+    out += "{\"ph\":\"";
+    out += instant ? "i" : "X";
+    out += "\",\"name\":\"" + JsonEscape(s->name) + "\",\"cat\":\"";
+    out += s->trace_id >= kRoundTraceBase ? "round" : "tx";
+    out += "\",\"pid\":" + FormatU64(s->trace_id) +
+           ",\"tid\":" + FormatU64(node_tid.at(s->node)) +
+           ",\"ts\":" + FormatI64(s->start);
+    if (instant) {
+      out += ",\"s\":\"t\"";
+    } else {
+      out += ",\"dur\":" + FormatI64(s->end - s->start);
+    }
+    out += ",\"args\":{\"span\":" + FormatU64(s->span_id) +
+           ",\"parent\":" + FormatU64(s->parent_span) + "}}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace porygon::obs
