@@ -129,13 +129,24 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
 /// Parses `--trace-out=<file>` from argv; empty string when absent. A
 /// non-empty result means the harness should enable SystemOptions::trace
 /// and export with WriteTraceJson after the run.
-inline std::string TraceOutArg(int argc, char** argv) {
-  const std::string prefix = "--trace-out=";
+inline std::string FlagValueArg(int argc, char** argv,
+                                const std::string& prefix) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return "";
+}
+
+inline std::string TraceOutArg(int argc, char** argv) {
+  return FlagValueArg(argc, argv, "--trace-out=");
+}
+
+/// Parses `--faults=<spec>` from argv; empty string when absent. The spec
+/// grammar is net::FaultPlan::Parse's comma-separated clause list, e.g.
+/// "loss:0.02,jitter:300,crash:0:6,recover:0:20".
+inline std::string FaultsArg(int argc, char** argv) {
+  return FlagValueArg(argc, argv, "--faults=");
 }
 
 /// Dumps the system's span buffer as Chrome trace_event JSON to `path` —

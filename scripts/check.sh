@@ -17,6 +17,9 @@ run_suite() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$(nproc)"
   ctest --test-dir "$dir" --output-on-failure
+  # Fault suite, called out explicitly: crash/recover failover, censorship,
+  # and same-seed determinism under an active FaultPlan must never rot.
+  ctest --test-dir "$dir" -R FaultInjection --output-on-failure
 }
 
 echo "== plain build + ctest =="

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/codec.h"
 
@@ -146,6 +147,13 @@ void BaStar::Count(const Vote& vote) {
 void BaStar::OnTimeout() {
   if (!started_ || decided_) return;
   if (instruments_.timeouts != nullptr) instruments_.timeouts->Increment();
+  if (instruments_.registry != nullptr) {
+    // Label by the delay this step waited, so exports show the schedule.
+    instruments_.registry
+        ->GetCounter("consensus.timeouts",
+                     {{"delay_us", std::to_string(NextTimeoutDelay())}})
+        ->Increment();
+  }
   ++step_;
   cert_voted_ = false;
   // Re-vote the value with the strongest soft support seen so far (our own

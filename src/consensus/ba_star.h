@@ -77,6 +77,10 @@ class BaStar {
     obs::Counter* votes_received = nullptr;  ///< Verified peer votes.
     obs::Counter* timeouts = nullptr;        ///< Retry steps taken.
     obs::Counter* decisions = nullptr;       ///< Certificates emitted.
+    /// When set, each retry step also increments a per-delay series
+    /// `consensus.timeouts{delay_us=...}` so exports show the backoff
+    /// schedule actually taken.
+    obs::MetricsRegistry* registry = nullptr;
   };
   void set_instruments(const Instruments& instruments) {
     instruments_ = instruments;
@@ -91,6 +95,23 @@ class BaStar {
     tracer_ = tracer;
     trace_ctx_ = ctx;
     trace_node_ = std::move(node);
+  }
+
+  /// Configures the retry backoff: step r waits min(base_us << r, cap_us)
+  /// before OnTimeout fires again. Defaults keep a flat schedule (cap ==
+  /// base) so drivers that poll at a fixed cadence are unaffected.
+  void set_backoff(int64_t base_us, int64_t cap_us) {
+    backoff_base_us_ = base_us;
+    backoff_cap_us_ = cap_us < base_us ? base_us : cap_us;
+  }
+
+  /// Delay the timeout driver should wait before the next OnTimeout, given
+  /// the current retry step: min(base << step, cap). Exposed so embedding
+  /// actors can schedule without duplicating the doubling rule.
+  int64_t NextTimeoutDelay() const {
+    const int shift = step_ > 6 ? 6 : static_cast<int>(step_);
+    const int64_t raw = backoff_base_us_ << shift;
+    return raw > backoff_cap_us_ ? backoff_cap_us_ : raw;
   }
 
   /// Starts the instance by soft-voting `proposal` at step 0.
@@ -127,6 +148,8 @@ class BaStar {
 
   uint64_t instance_ = 0;
   uint32_t step_ = 0;
+  int64_t backoff_base_us_ = 1'700'000;
+  int64_t backoff_cap_us_ = 1'700'000;
   bool started_ = false;
   bool cert_voted_ = false;
   bool decided_ = false;

@@ -102,6 +102,7 @@ const char* MsgKindName(uint16_t kind) {
     case kMsgNewRound: return "new_round";
     case kMsgRoleAnnounce: return "role_announce";
     case kMsgGossip: return "gossip";
+    case kMsgResync: return "resync";
     default: return "unknown";
   }
 }
@@ -142,6 +143,20 @@ Result<RoleAnnounce> RoleAnnounce::Decode(ByteView data) {
   PORYGON_ASSIGN_OR_RETURN(a.node_id, dec.GetU32());
   if (!dec.Done()) return Status::Corruption("trailing announce bytes");
   return a;
+}
+
+Bytes ResyncRequest::Encode() const {
+  Encoder enc;
+  enc.PutU64(round);
+  return enc.TakeBuffer();
+}
+
+Result<ResyncRequest> ResyncRequest::Decode(ByteView data) {
+  Decoder dec(data);
+  ResyncRequest r;
+  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
+  if (!dec.Done()) return Status::Corruption("trailing resync bytes");
+  return r;
 }
 
 Bytes WitnessUpload::Encode() const {

@@ -34,6 +34,7 @@ enum MsgKind : uint16_t {
   kMsgNewRound = 13,      ///< storage -> stateless: round start.
   kMsgRoleAnnounce = 14,  ///< stateless -> storage: my role this round.
   kMsgGossip = 15,        ///< storage <-> storage: replication.
+  kMsgResync = 16,        ///< stateless -> storage: chain-tip catch-up ask.
 };
 
 /// Maps a message kind to the pipeline phase whose budget it spends
@@ -62,6 +63,17 @@ struct RoleAnnounce {
 
   Bytes Encode() const;
   static Result<RoleAnnounce> Decode(ByteView data);
+};
+
+/// Chain-tip catch-up request (stateless -> storage): sent by the failover
+/// watchdog after rotating primaries, and by recovery probes. The storage
+/// node answers with a kMsgNewRound carrying its committed tip; the
+/// receiver's stale-round check makes the reply idempotent.
+struct ResyncRequest {
+  uint64_t round = 0;  ///< The requester's current round (diagnostics).
+
+  Bytes Encode() const;
+  static Result<ResyncRequest> Decode(ByteView data);
 };
 
 /// Witness proof upload (EC member -> storage node).

@@ -57,6 +57,35 @@ struct Params {
   int64_t reconfig_interval_us = 2'000'000;
   /// Per-phase budget within a round (prototype: phases average 1.7 s).
   int64_t phase_interval_us = 1'700'000;
+  /// BA* retry backoff cap: retry r waits min(phase_interval_us << r, cap).
+  int64_t consensus_backoff_cap_us = 6'800'000;
+
+  // --- Storage-link failover (runtime health model, §IV-B Challenge 1) ----
+  /// Per-request deadline on storage-bound traffic (relays, state
+  /// requests): if the primary stays silent past it, the request is
+  /// retransmitted and a strike is recorded. Sized above the worst healthy
+  /// commit -> next-NewRound gap so quiet-but-live primaries don't strike.
+  int64_t storage_timeout_us = 2'500'000;
+  /// Retransmission backoff cap (deadline k waits
+  /// min(storage_timeout_us << k, cap)).
+  int64_t storage_backoff_cap_us = 10'000'000;
+  /// Consecutive silent-primary strikes before rotating to the next
+  /// connected storage node.
+  int storage_failover_strikes = 3;
+  /// Deadline firings per tracked request before it is abandoned (bounds
+  /// the event chain so a dead system drains its queue).
+  int storage_retry_limit = 5;
+  /// Round watchdog: with no fresh NewRound for this long, rotate the
+  /// primary and ask the new one for the chain tip (kMsgResync).
+  int64_t storage_watchdog_us = 8'000'000;
+  /// Watchdog rotations+resyncs allowed per silent stretch (refilled on
+  /// every fresh NewRound; bounds the watchdog event chain).
+  int storage_resync_budget = 3;
+  /// Recovery probing: after rotating away from the preferred (original)
+  /// primary, probe it at this interval and readopt it if it answers.
+  int64_t storage_probe_us = 4'000'000;
+  /// Probes per rotation before giving up on readoption.
+  int storage_probe_limit = 4;
 
   // --- Adversary (§III-B) -------------------------------------------------
   /// Fraction of malicious stateless nodes (α = 1/4).

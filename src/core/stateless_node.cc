@@ -42,6 +42,15 @@ StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
       storages_(std::move(storages)),
       malicious_(malicious),
       in_oc_(in_oc) {
+  heard_at_.assign(storages_.size(), 0);
+  // Arm the round watchdog from birth: a node whose very first NewRound is
+  // lost would otherwise never learn a round started and stay dark forever
+  // (the watchdog was only re-armed by OnNewRound). Budgeted, so the chain
+  // still dies off in a genuinely stalled system and the queue can drain.
+  resync_budget_ = system_->params().storage_resync_budget;
+  watchdog_armed_ = true;
+  system_->events()->ScheduleAfter(system_->params().storage_watchdog_us,
+                                   [this] { OnWatchdog(); });
   if (in_oc_) {
     coordinator_ = std::make_unique<CrossShardCoordinator>(
         system_->params().shard_bits,
@@ -67,14 +76,203 @@ void StatelessNodeActor::SendToPrimary(uint16_t kind, Bytes payload,
                                        size_t wire_size,
                                        obs::TraceContext trace) {
   if (storages_.empty()) return;
+  const size_t wire = wire_size != 0 ? wire_size : payload.size();
+  // Storage-bound protocol traffic rides the failover health model: a
+  // deadline fires if the primary stays silent, eventually rotating it.
+  if (kind == kMsgRelay || kind == kMsgStateRequest) {
+    TrackRequest(kind, payload, wire, trace);
+  }
   net::Message m;
   m.from = net_id_;
-  m.to = storages_[0];
+  m.to = storages_[primary_idx_];
   m.kind = kind;
   m.trace = trace;
-  m.wire_size = wire_size != 0 ? wire_size : payload.size();
+  m.wire_size = wire;
   m.payload = std::move(payload);
   system_->network()->Send(std::move(m));
+}
+
+// --------------------------------------------------------------------------
+// Storage-link failover
+// --------------------------------------------------------------------------
+
+void StatelessNodeActor::TrackRequest(uint16_t kind, const Bytes& payload,
+                                      size_t wire_size,
+                                      obs::TraceContext trace) {
+  const uint64_t id = next_req_id_++;
+  PendingReq req;
+  req.kind = kind;
+  req.payload = payload;
+  req.wire_size = wire_size;
+  req.trace = trace;
+  req.round = current_round_;
+  req.target_idx = primary_idx_;
+  req.sent_at = system_->events()->now();
+  if (kind == kMsgRelay) {
+    // Remember what the primary must echo back (OC relays fan out to every
+    // OC member, the sender included): the echo is the delivery ack.
+    auto relay = Relay::Decode(payload);
+    if (relay.ok() && relay->target == Relay::kToOrderingCommittee &&
+        in_oc_) {
+      req.echo_kind = relay->inner_kind;
+      req.echo_payload = relay->inner;
+    }
+  }
+  pending_reqs_[id] = std::move(req);
+  system_->events()->ScheduleAfter(system_->params().storage_timeout_us,
+                                   [this, id] { OnRequestDeadline(id); });
+}
+
+void StatelessNodeActor::OnRequestDeadline(uint64_t req_id) {
+  auto it = pending_reqs_.find(req_id);
+  if (it == pending_reqs_.end()) return;
+  PendingReq& req = it->second;
+  const Params& p = system_->params();
+  // Relays are round-scoped: once the round moved on, the relay is moot.
+  if (req.kind == kMsgRelay && req.round < current_round_) {
+    pending_reqs_.erase(it);
+    return;
+  }
+  ++req.attempts;
+  if (req.attempts > p.storage_retry_limit) {
+    pending_reqs_.erase(it);  // Abandon: bounds the event chain.
+    return;
+  }
+  // Health signal: a primary that said nothing at all for a whole deadline
+  // window is striking out (a live one keeps pushing round traffic).
+  const net::SimTime now = system_->events()->now();
+  const bool primary_silent =
+      primary_idx_ < heard_at_.size() &&
+      heard_at_[primary_idx_] + p.storage_timeout_us <= now;
+  if (primary_silent) {
+    system_->obs_.failover_timeouts->Increment();
+    if (++primary_strikes_ >= p.storage_failover_strikes) RotatePrimary();
+  }
+  // Retransmit through the next connection with exponential backoff. The
+  // request cycles through all m links, so a dead or censoring (alive but
+  // relay-dropping) storage node is bypassed even when the two cannot be
+  // told apart from here.
+  system_->obs_.failover_retransmits->Increment();
+  req.target_idx = (req.target_idx + 1) % storages_.size();
+  req.sent_at = now;
+  net::Message m;
+  m.from = net_id_;
+  m.to = storages_[req.target_idx];
+  m.kind = req.kind;
+  m.trace = req.trace;
+  m.wire_size = req.wire_size;
+  m.payload = req.payload;
+  system_->network()->Send(std::move(m));
+  const int shift = req.attempts > 6 ? 6 : req.attempts;
+  const int64_t delay = std::min<int64_t>(p.storage_timeout_us << shift,
+                                          p.storage_backoff_cap_us);
+  system_->events()->ScheduleAfter(delay,
+                                   [this, req_id] { OnRequestDeadline(req_id); });
+}
+
+void StatelessNodeActor::NoteEcho(const net::Message& msg) {
+  for (auto it = pending_reqs_.begin(); it != pending_reqs_.end(); ++it) {
+    const PendingReq& req = it->second;
+    if (req.kind != kMsgRelay || req.echo_kind != msg.kind) continue;
+    if (req.echo_payload == msg.payload) {
+      pending_reqs_.erase(it);  // Delivered: our broadcast came back.
+      return;
+    }
+  }
+}
+
+void StatelessNodeActor::RotatePrimary() {
+  primary_strikes_ = 0;
+  if (storages_.size() < 2) return;
+  const bool leaving_preferred = primary_idx_ == preferred_idx_;
+  if (leaving_preferred) ++preferred_failures_;
+  primary_idx_ = (primary_idx_ + 1) % storages_.size();
+  system_->obs_.failover_rotations->Increment();
+  obs::Tracer* tracer = system_->tracer();
+  if (tracer->enabled()) {
+    tracer->Instant(tracer->FaultContext(), "primary_rotation", TraceName());
+  }
+  // Start probing the preferred primary for readoption — but only on its
+  // first failure (likely a crash). A preferred that was readopted and
+  // struck out again is live-but-useless; probing it would oscillate.
+  if (primary_idx_ != preferred_idx_ && !probe_chain_active_ &&
+      preferred_failures_ <= 1) {
+    probe_chain_active_ = true;
+    probes_left_ = system_->params().storage_probe_limit;
+    system_->events()->ScheduleAfter(system_->params().storage_probe_us,
+                                     [this] { SendProbe(); });
+  }
+}
+
+void StatelessNodeActor::SendProbe() {
+  if (primary_idx_ == preferred_idx_ || probes_left_ <= 0) {
+    probe_chain_active_ = false;
+    probe_inflight_ = false;
+    return;
+  }
+  --probes_left_;
+  probe_inflight_ = true;
+  SendResync(storages_[preferred_idx_]);
+  system_->events()->ScheduleAfter(system_->params().storage_probe_us,
+                                   [this] { SendProbe(); });
+}
+
+void StatelessNodeActor::SendResync(net::NodeId target) {
+  ResyncRequest req;
+  req.round = current_round_;
+  net::Message m;
+  m.from = net_id_;
+  m.to = target;
+  m.kind = kMsgResync;
+  m.payload = req.Encode();
+  m.wire_size = m.payload.size();
+  system_->network()->Send(std::move(m));
+}
+
+void StatelessNodeActor::NoteHeardFrom(net::NodeId from) {
+  for (size_t i = 0; i < storages_.size(); ++i) {
+    if (storages_[i] != from) continue;
+    heard_at_[i] = system_->events()->now();
+    if (i == primary_idx_) primary_strikes_ = 0;
+    // Readoption: only a probe answer (not incidental traffic like TxBlock
+    // pushes) moves the node back to its preferred primary.
+    if (probe_inflight_ && i == preferred_idx_ &&
+        primary_idx_ != preferred_idx_) {
+      primary_idx_ = preferred_idx_;
+      primary_strikes_ = 0;
+      probe_inflight_ = false;
+      probe_chain_active_ = false;
+      probes_left_ = 0;
+      system_->obs_.failover_readoptions->Increment();
+      obs::Tracer* tracer = system_->tracer();
+      if (tracer->enabled()) {
+        tracer->Instant(tracer->FaultContext(), "primary_readoption",
+                        TraceName());
+      }
+    }
+    return;
+  }
+}
+
+void StatelessNodeActor::OnWatchdog() {
+  const Params& p = system_->params();
+  const net::SimTime now = system_->events()->now();
+  const net::SimTime due = last_new_round_at_ + p.storage_watchdog_us;
+  if (now < due) {
+    // A fresh round arrived meanwhile; sleep until the pushed-out deadline.
+    system_->events()->ScheduleAfter(due - now, [this] { OnWatchdog(); });
+    return;
+  }
+  if (resync_budget_ <= 0) {
+    watchdog_armed_ = false;  // Chain dies; a fresh round re-arms it.
+    return;
+  }
+  --resync_budget_;
+  RotatePrimary();
+  system_->obs_.failover_resyncs->Increment();
+  SendResync(storages_[primary_idx_]);
+  system_->events()->ScheduleAfter(p.storage_watchdog_us,
+                                   [this] { OnWatchdog(); });
 }
 
 void StatelessNodeActor::SendToAllStorages(uint16_t kind, const Bytes& payload,
@@ -110,6 +308,8 @@ void StatelessNodeActor::BroadcastToOc(uint16_t kind, const Bytes& payload,
 
 void StatelessNodeActor::HandleMessage(const net::Message& msg) {
   if (malicious_) return;  // Byzantine-silent model for stateless nodes.
+  NoteHeardFrom(msg.from);  // Any traffic counts as a liveness signal.
+  if (!pending_reqs_.empty()) NoteEcho(msg);
   switch (msg.kind) {
     case kMsgNewRound: {
       auto block = tx::ProposalBlock::Decode(msg.payload);
@@ -148,6 +348,16 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
   current_round_ = round;
   last_block_ = prev_block;
   prev_hash_ = prev_block.Hash();
+
+  // Round watchdog: a fresh round refills the resync budget and pushes the
+  // stall deadline out; the (single) watchdog chain is armed lazily here.
+  last_new_round_at_ = system_->events()->now();
+  resync_budget_ = system_->params().storage_resync_budget;
+  if (!watchdog_armed_) {
+    watchdog_armed_ = true;
+    system_->events()->ScheduleAfter(system_->params().storage_watchdog_us,
+                                     [this] { OnWatchdog(); });
+  }
 
   // Prune witnessed blocks past their execution round (storage hygiene that
   // keeps the footprint ~constant, Fig 9a).
@@ -316,7 +526,17 @@ void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
 
 void StatelessNodeActor::OnStateResponse(const net::Message& msg) {
   auto resp = StateResponse::Decode(msg.payload);
-  if (!resp.ok() || !exec_task_.has_value()) return;
+  if (!resp.ok()) return;
+  // The answer settles every outstanding state request (the failover layer
+  // only ever has this round's in flight).
+  for (auto it = pending_reqs_.begin(); it != pending_reqs_.end();) {
+    if (it->second.kind == kMsgStateRequest) {
+      it = pending_reqs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!exec_task_.has_value()) return;
   if (resp->round != exec_task_->request.round) return;
   exec_task_->state = std::move(*resp);
   RunExecution();
@@ -637,6 +857,8 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
         },
         [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
     ba_->set_instruments(system_->obs_.consensus);
+    ba_->set_backoff(system_->params().phase_interval_us,
+                     system_->params().consensus_backoff_cap_us);
     if (system_->tracer()->enabled()) {
       ba_->set_trace(system_->tracer(),
                      system_->tracer()->RoundContext(current_round_),
@@ -658,8 +880,10 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
       }
       std::shared_ptr<std::function<void(int)>> st = wst.lock();
       if (!st) return;
+      // Capped exponential backoff: the delay doubles with the retry step
+      // (min(phase_interval << step, consensus_backoff_cap_us)).
       system_->events()->ScheduleAfter(
-          system_->params().phase_interval_us, [this, st, tries, round] {
+          ba_->NextTimeoutDelay(), [this, st, tries, round] {
             if (ba_ && !ba_->decided() && current_round_ == round) {
               ba_->OnTimeout();
               (*st)(tries - 1);

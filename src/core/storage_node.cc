@@ -50,6 +50,9 @@ void StorageNodeActor::HandleMessage(const net::Message& msg) {
     case kMsgStateRequest:
       OnStateRequest(msg);
       break;
+    case kMsgResync:
+      OnResync(msg);
+      break;
     case kMsgCommit:
       OnCommit(msg, /*from_gossip=*/false);
       break;
@@ -208,6 +211,9 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
 }
 
 void StorageNodeActor::DistributeRoundWork(uint64_t round) {
+  // The grace-period event may outlive a crash that happened meanwhile; a
+  // down node distributes nothing (it rejoins through OnRejoin).
+  if (system_->network()->IsCrashed(net_id_)) return;
   const Params& p = system_->params();
   const SystemOptions& opt = system_->options();
   net::SimNetwork* net = system_->network();
@@ -233,6 +239,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
       if (block.transactions.empty()) break;
       system_->block_store_[IdKey(block.header.Id())] =
           PorygonSystem::StoredBlock{block, round};
+      unlisted_blocks_[IdKey(block.header.Id())] = round;
       if (tracing) {
         // Sampled transactions close their "submit" (mempool wait) span.
         for (const auto& t : block.transactions) {
@@ -316,6 +323,34 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
         }
         bundle.blocks.push_back(std::move(wb));
       }
+    }
+    // Orphan recovery: our packaged blocks that reached Tw in an earlier
+    // batch but never made a committed listing — their bundle window passed
+    // while the OC members' primary was unreachable — ride the current
+    // bundle (the OC merges by block id, so re-offers are idempotent). The
+    // stored value is the batch of the last push; waiting two rounds before
+    // re-pushing leaves a normal listing time to commit and prune.
+    for (auto& [key, last_push] : unlisted_blocks_) {
+      if (last_push + 2 > round) continue;
+      auto stored = system_->block_store_.find(key);
+      auto wstate = witness_state_.find(key);
+      if (stored == system_->block_store_.end() ||
+          wstate == witness_state_.end() ||
+          wstate->second.proofs.size() <
+              static_cast<size_t>(p.witness_threshold)) {
+        continue;
+      }
+      WitnessedBlock wb;
+      wb.header = stored->second.block.header;
+      for (const auto& [pk, proof] : wstate->second.proofs) {
+        wb.proofs.push_back(proof);
+      }
+      for (const auto& t : stored->second.block.transactions) {
+        wb.accesses.push_back(TxAccess{t.Id(), t.from, t.to, t.amount,
+                                       t.nonce, t.submitted_at});
+      }
+      bundle.blocks.push_back(std::move(wb));
+      last_push = round - 1;  // Joins batch round-1's listing window.
     }
     Bytes enc = bundle.Encode();
     for (net::NodeId oc : system_->oc_net_ids_) {
@@ -496,6 +531,80 @@ void StorageNodeActor::OnStateRequest(const net::Message& msg) {
   system_->network()->Send(std::move(m));
 }
 
+void StorageNodeActor::OnResync(const net::Message& msg) {
+  auto req = ResyncRequest::Decode(msg.payload);
+  if (!req.ok()) return;
+  // Reply with our committed tip as a NewRound. The receiver's stale-round
+  // check makes this idempotent; a node that fell behind catches up. Like
+  // state serving, this answers even on malicious nodes (withholding the
+  // tip would be instantly detectable; the modeled attack is on bodies).
+  const tx::ProposalBlock& tip = system_->chain().back();
+  Bytes enc = tip.Encode();
+  net::Message m;
+  m.from = net_id_;
+  m.to = msg.from;
+  m.kind = kMsgNewRound;
+  const StatelessNodeActor* node = system_->StatelessByNetId(msg.from);
+  m.wire_size = node != nullptr && node->in_oc() ? enc.size() : 256;
+  m.payload = std::move(enc);
+  system_->network()->Send(std::move(m));
+}
+
+void StorageNodeActor::OnRejoin(uint64_t round) {
+  PORYGON_LOG(kInfo) << "storage" << index_ << " rejoining at round "
+                     << round;
+  // Per-round offer bookkeeping is stale after the outage; rebuilt when the
+  // next round distributes. Durable state (db_, pool, the shared block
+  // store) survived the crash, so catching up is joining the current round.
+  offered_blocks_.clear();
+  last_distributed_round_ = 0;
+
+  // We missed every commit during the outage, so first settle
+  // unlisted_blocks_ against the chain, then re-queue the transactions of
+  // blocks that genuinely never made a listing — their witness bundle died
+  // with us. Re-queuing is replay-safe: anything that somehow committed
+  // anyway fails the nonce check at execution.
+  for (const auto& committed : system_->chain()) {
+    for (const auto& shard_list : committed.shard_tx_blocks) {
+      for (const auto& id : shard_list) unlisted_blocks_.erase(IdKey(id));
+    }
+  }
+  for (auto it = unlisted_blocks_.begin(); it != unlisted_blocks_.end();) {
+    auto stored = system_->block_store_.find(it->first);
+    // Blocks pruned from the store are past the pipeline's lookback and
+    // unrecoverable; blocks of the still-in-flight batch may yet be listed.
+    if (stored == system_->block_store_.end()) {
+      it = unlisted_blocks_.erase(it);
+      continue;
+    }
+    if (stored->second.batch_round + 1 >= round) {
+      ++it;
+      continue;
+    }
+    // Blocks that already reached Tw stay put: the bundle push re-offers
+    // them to the OC directly (see DistributeRoundWork). Re-queuing those
+    // too would list the same transactions under two block ids.
+    auto wstate = witness_state_.find(it->first);
+    if (wstate != witness_state_.end() &&
+        wstate->second.proofs.size() >=
+            static_cast<size_t>(system_->params().witness_threshold)) {
+      ++it;
+      continue;
+    }
+    uint64_t requeued = 0;
+    for (const auto& t : stored->second.block.transactions) {
+      if (pool_.Add(t)) ++requeued;
+    }
+    if (requeued > 0) system_->obs_.failover_requeued_txs->Add(requeued);
+    system_->block_store_.erase(stored);
+    it = unlisted_blocks_.erase(it);
+  }
+
+  if (round > 0 && round == system_->chain().back().round + 1) {
+    OnRoundStart(round);
+  }
+}
+
 void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
   auto block = tx::ProposalBlock::Decode(msg.payload);
   if (!block.ok()) return;
@@ -511,6 +620,12 @@ void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
   if (system_->tracer()->enabled()) {
     system_->tracer()->Instant(system_->tracer()->RoundContext(block->round),
                                "apply_block", TraceName());
+  }
+
+  // Our packaged blocks that made this listing are no longer orphan
+  // candidates.
+  for (const auto& shard_list : block->shard_tx_blocks) {
+    for (const auto& id : shard_list) unlisted_blocks_.erase(IdKey(id));
   }
 
   system_->OnBlockCommitted(*block, system_->events()->now());

@@ -6,6 +6,7 @@
 
 #include "common/codec.h"
 #include "common/log.h"
+#include "net/fault.h"
 #include "obs/export.h"
 
 namespace porygon::core {
@@ -99,6 +100,34 @@ Status SystemOptions::Validate() const {
   }
   if (params.storage_connections < 1) {
     return Status::InvalidArgument("storage_connections must be >= 1");
+  }
+  if (params.consensus_backoff_cap_us < 1) {
+    return Status::InvalidArgument("consensus_backoff_cap_us must be >= 1");
+  }
+  if (params.storage_timeout_us < 1) {
+    return Status::InvalidArgument("storage_timeout_us must be >= 1");
+  }
+  if (params.storage_backoff_cap_us < params.storage_timeout_us) {
+    return Status::InvalidArgument(
+        "storage_backoff_cap_us below storage_timeout_us");
+  }
+  if (params.storage_failover_strikes < 1) {
+    return Status::InvalidArgument("storage_failover_strikes must be >= 1");
+  }
+  if (params.storage_retry_limit < 1) {
+    return Status::InvalidArgument("storage_retry_limit must be >= 1");
+  }
+  if (params.storage_watchdog_us < 1) {
+    return Status::InvalidArgument("storage_watchdog_us must be >= 1");
+  }
+  if (params.storage_resync_budget < 0) {
+    return Status::InvalidArgument("storage_resync_budget must be >= 0");
+  }
+  if (params.storage_probe_us < 1) {
+    return Status::InvalidArgument("storage_probe_us must be >= 1");
+  }
+  if (params.storage_probe_limit < 0) {
+    return Status::InvalidArgument("storage_probe_limit must be >= 0");
   }
   return Status::Ok();
 }
@@ -211,6 +240,22 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   obs_.consensus.timeouts = metrics_registry_.GetCounter("consensus.timeouts");
   obs_.consensus.decisions =
       metrics_registry_.GetCounter("consensus.decisions");
+  obs_.consensus.registry = &metrics_registry_;
+  obs_.rejected_unavailable = metrics_registry_.GetCounter(
+      "porygon.rejected_txs", {{"reason", "unavailable"}});
+  obs_.failover_timeouts =
+      metrics_registry_.GetCounter("core.failover.request_timeouts");
+  obs_.failover_retransmits =
+      metrics_registry_.GetCounter("core.failover.retransmits");
+  obs_.failover_rotations =
+      metrics_registry_.GetCounter("core.failover.rotations");
+  obs_.failover_resyncs =
+      metrics_registry_.GetCounter("core.failover.resyncs");
+  obs_.failover_readoptions =
+      metrics_registry_.GetCounter("core.failover.readoptions");
+  obs_.failover_requeued_txs =
+      metrics_registry_.GetCounter("core.failover.requeued_txs");
+  obs_.storage_rejoins = metrics_registry_.GetCounter("core.storage_rejoins");
 
   tracer_.Configure(options_.trace, [this] { return events_.now(); });
   events_.EnableMetrics(&metrics_registry_);
@@ -302,19 +347,10 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
       chosen.insert(
           static_cast<int>(rng_.NextBelow(options_.num_storage_nodes)));
     }
+    // Connection order is the draw order (ascending storage index, fixed by
+    // the seeded chooser above). No honesty oracle: an unresponsive primary
+    // is detected and rotated away from at runtime (storage-link failover).
     for (int s : chosen) conns.push_back(storage_nodes_[s]->net_id());
-    // Prefer an honest primary (a node retries primaries until it finds a
-    // responsive one; modeled by sorting honest connections first).
-    std::stable_sort(conns.begin(), conns.end(),
-                     [this](net::NodeId a, net::NodeId b) {
-                       auto honest = [this](net::NodeId id) {
-                         for (const auto& s : storage_nodes_) {
-                           if (s->net_id() == id) return !s->malicious();
-                         }
-                         return false;
-                       };
-                       return honest(a) && !honest(b);
-                     });
 
     bool in_oc = oc_set.count(i) > 0;
     auto actor = std::make_unique<StatelessNodeActor>(
@@ -388,9 +424,21 @@ Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
   }
   t.submitted_at = static_cast<uint64_t>(events_.now());
   // Deterministic home storage node by tx id; clients talk to storage
-  // directly (client-side bandwidth is out of the model).
-  int home = static_cast<int>(crypto::HashPrefixU64(t.Id()) %
-                              storage_nodes_.size());
+  // directly (client-side bandwidth is out of the model). A crashed home is
+  // skipped the way a real client would retry the next endpoint: advance
+  // deterministically until a live node is found.
+  const int n = static_cast<int>(storage_nodes_.size());
+  int home = static_cast<int>(crypto::HashPrefixU64(t.Id()) % n);
+  int probed = 0;
+  while (probed < n &&
+         network_->IsCrashed(storage_nodes_[home]->net_id())) {
+    home = (home + 1) % n;
+    ++probed;
+  }
+  if (probed == n) {
+    obs_.rejected_unavailable->Increment();
+    return Status::Unavailable("all storage nodes are down");
+  }
   if (!storage_nodes_[home]->pool_.Add(t)) {
     obs_.rejected_duplicate->Increment();
     return Status::AlreadyExists("duplicate transaction");
@@ -513,6 +561,9 @@ void PorygonSystem::StartRound(uint64_t round) {
     AdvanceExecState(round - 1);
   }
   for (auto& storage : storage_nodes_) {
+    // A crashed storage node neither announces the round nor packages
+    // blocks; it catches up through OnRejoin when recovered.
+    if (network_->IsCrashed(storage->net_id())) continue;
     storage->OnRoundStart(round);
   }
 }
@@ -701,6 +752,43 @@ void PorygonSystem::Run(int rounds, net::SimTime max_sim_time) {
   while (static_cast<int>(committed_rounds_) < target_rounds_ &&
          events_.now() <= max_sim_time) {
     if (!events_.RunNext()) break;  // Queue drained: the protocol stalled.
+  }
+}
+
+Status PorygonSystem::InjectFaults(const net::FaultPlan& plan) {
+  if (fault_injector_ != nullptr) {
+    return Status::FailedPrecondition("a fault plan is already active");
+  }
+  if (plan.empty()) {
+    return Status::InvalidArgument("fault plan is empty");
+  }
+  fault_injector_ = std::make_unique<net::FaultInjector>(
+      plan, network_.get(), &metrics_registry_, &tracer_,
+      [this](net::NodeId node, bool crashed) {
+        if (crashed) {
+          CrashNode(node);
+        } else {
+          RecoverNode(node);
+        }
+      });
+  return Status::Ok();
+}
+
+void PorygonSystem::CrashNode(net::NodeId node) {
+  network_->SetCrashed(node, true);
+}
+
+void PorygonSystem::RecoverNode(net::NodeId node) {
+  network_->SetCrashed(node, false);
+  // Storage nodes rejoin: fresh per-round bookkeeping plus an immediate
+  // catch-up on the committed tip (the shared block store / canonical state
+  // stand in for its durable replica, which survived the crash).
+  for (auto& storage : storage_nodes_) {
+    if (storage->net_id() != node) continue;
+    obs_.storage_rejoins->Increment();
+    const uint64_t tip = chain_.empty() ? 0 : chain_.back().round;
+    storage->OnRejoin(tip + 1);
+    break;
   }
 }
 

@@ -28,6 +28,11 @@
 #include "tx/blocks.h"
 #include "tx/txpool.h"
 
+namespace porygon::net {
+struct FaultPlan;
+class FaultInjector;
+}  // namespace porygon::net
+
 namespace porygon::core {
 
 class PorygonSystem;
@@ -147,6 +152,10 @@ class StorageNodeActor {
   void OnRoundStart(uint64_t round);
   /// The deferred part of OnRoundStart (blocks/bundles/exec requests).
   void DistributeRoundWork(uint64_t round);
+  /// Called after a crash -> recover cycle: the node is back on the
+  /// network and will catch up on the current round (fresh per-round
+  /// bookkeeping; durable state survived in db_/block store).
+  void OnRejoin(uint64_t round);
 
   int index() const { return index_; }
   net::NodeId net_id() const { return net_id_; }
@@ -166,6 +175,7 @@ class StorageNodeActor {
   void OnWitnessUpload(const net::Message& msg, bool from_gossip);
   void OnRelay(const net::Message& msg);
   void OnStateRequest(const net::Message& msg);
+  void OnResync(const net::Message& msg);
   void OnCommit(const net::Message& msg, bool from_gossip);
   void OnRoleAnnounce(const net::Message& msg, bool from_gossip);
   void OnGossip(const net::Message& msg);
@@ -200,6 +210,12 @@ class StorageNodeActor {
   // Blocks offered this round, per shard (serves late role announcements).
   uint64_t last_distributed_round_ = 0;
   std::map<uint32_t, std::vector<std::string>> offered_blocks_;
+
+  // Blocks we packaged whose ids have not yet appeared in a committed
+  // listing (block-id key -> batch round). Normally pruned by OnCommit;
+  // whatever survives a crash -> rejoin cycle is orphaned (its witness
+  // bundle died with us) and its transactions are re-queued into the pool.
+  std::map<std::string, uint64_t> unlisted_blocks_;
 };
 
 /// A stateless node: ~5 MB footprint, joins committees by VRF, witnesses,
@@ -218,9 +234,13 @@ class StatelessNodeActor {
   net::NodeId net_id() const { return net_id_; }
   const crypto::PublicKey& public_key() const { return keys_.public_key; }
   /// The storage node this stateless node downloads bundles/blocks from.
+  /// Starts as the first connection; the runtime failover logic rotates it
+  /// when the current primary goes silent (see RotatePrimary).
   net::NodeId primary_storage() const {
-    return storages_.empty() ? net::kInvalidNode : storages_[0];
+    return storages_.empty() ? net::kInvalidNode : storages_[primary_idx_];
   }
+  /// Diagnostics: index into the connection list currently used as primary.
+  size_t primary_index() const { return primary_idx_; }
   bool in_oc() const { return in_oc_; }
   bool malicious() const { return malicious_; }
   /// Modeled storage footprint in bytes (Fig 9a): latest proposal block,
@@ -258,6 +278,23 @@ class StatelessNodeActor {
   void SendToAllStorages(uint16_t kind, const Bytes& payload,
                          size_t wire_size = 0, obs::TraceContext trace = {});
 
+  // --- Storage-link failover (runtime health model) -----------------------
+  // Storage-bound requests (relays, state requests) carry a per-request
+  // sim-time deadline. A deadline firing with no traffic heard from the
+  // primary since the send counts a strike and retransmits with exponential
+  // backoff; enough strikes rotate the primary through the connection list.
+  // A round watchdog covers full stalls between requests, and a probe chain
+  // readopts the preferred primary once it answers again.
+  void TrackRequest(uint16_t kind, const Bytes& payload, size_t wire_size,
+                    obs::TraceContext trace);
+  void OnRequestDeadline(uint64_t req_id);
+  void RotatePrimary();
+  void NoteHeardFrom(net::NodeId from);
+  void NoteEcho(const net::Message& msg);
+  void OnWatchdog();
+  void SendProbe();
+  void SendResync(net::NodeId target);
+
   /// Node label on trace spans (only built when tracing is enabled).
   std::string TraceName() const { return "node" + std::to_string(index_); }
 
@@ -271,6 +308,39 @@ class StatelessNodeActor {
 
   uint64_t current_round_ = 0;
   net::SimTime session_end_ = net::kSimTimeNever;  // Churn (Fig 8d).
+
+  // --- Storage-link failover state ---------------------------------------
+  struct PendingReq {
+    uint16_t kind = 0;
+    Bytes payload;
+    size_t wire_size = 0;
+    obs::TraceContext trace;
+    /// For OC-broadcast relays: the inner (kind, payload) the primary must
+    /// echo back to us (OnRelay forwards to every OC member, sender
+    /// included). Receiving the echo is positive proof of delivery.
+    uint16_t echo_kind = 0;
+    Bytes echo_payload;
+    uint64_t round = 0;         ///< Round the request was issued in.
+    size_t target_idx = 0;      ///< Connection the last send went to.
+    net::SimTime sent_at = 0;   ///< Last (re)transmission time.
+    int attempts = 0;           ///< Deadline firings so far.
+  };
+  size_t primary_idx_ = 0;    ///< Current primary (index into storages_).
+  size_t preferred_idx_ = 0;  ///< Probe/readoption target after rotation.
+  int primary_strikes_ = 0;   ///< Consecutive silent-primary deadline hits.
+  /// Times the preferred primary was rotated away from. After the second
+  /// failure (it was readopted and struck out again) it is never probed
+  /// again: a live-but-useless (censoring) node must not oscillate.
+  int preferred_failures_ = 0;
+  uint64_t next_req_id_ = 1;
+  std::map<uint64_t, PendingReq> pending_reqs_;
+  std::vector<net::SimTime> heard_at_;  ///< Last traffic per connection.
+  net::SimTime last_new_round_at_ = 0;
+  int resync_budget_ = 0;        ///< Watchdog rotations left this stretch.
+  bool watchdog_armed_ = false;  ///< A watchdog event chain is live.
+  bool probe_chain_active_ = false;
+  bool probe_inflight_ = false;  ///< Readopt only on a probe answer.
+  int probes_left_ = 0;
   crypto::Hash256 prev_hash_{};
   tx::ProposalBlock last_block_;
   std::optional<Assignment> assignment_;  // EC role for current round.
@@ -335,6 +405,20 @@ class PorygonSystem {
   /// Starts the protocol (genesis block, first round) and runs until
   /// `rounds` proposal blocks have committed (or `max_sim_time` passes).
   void Run(int rounds, net::SimTime max_sim_time = net::kSimTimeNever);
+
+  /// Arms a deterministic fault-injection plan against this deployment's
+  /// network (loss/duplication/delay/partitions via the SimNetwork fault
+  /// hook; scheduled crashes and recoveries routed through the storage
+  /// rejoin path below). Call before or between Run() segments; at most one
+  /// plan may be active per system. Returns kFailedPrecondition on a second
+  /// call and kInvalidArgument for an empty plan.
+  Status InjectFaults(const net::FaultPlan& plan);
+
+  /// Crash semantics for storage nodes: the network drops their traffic
+  /// while crashed; recovery puts them back and has them catch up on the
+  /// committed tip (OnRejoin). Stateless ids only toggle the network flag.
+  void CrashNode(net::NodeId node);
+  void RecoverNode(net::NodeId node);
 
   SystemMetrics metrics() const { return SystemMetrics(&metrics_registry_); }
   /// The registry every layer of this deployment records into (network,
@@ -473,6 +557,15 @@ class PorygonSystem {
     obs::Counter* gossip_dedup_hits = nullptr;
     obs::Counter* exec_cache_hits = nullptr;
     obs::Counter* exec_cache_misses = nullptr;
+    obs::Counter* rejected_unavailable = nullptr;
+    // Storage-link failover (stateless-node health model).
+    obs::Counter* failover_timeouts = nullptr;
+    obs::Counter* failover_retransmits = nullptr;
+    obs::Counter* failover_rotations = nullptr;
+    obs::Counter* failover_resyncs = nullptr;
+    obs::Counter* failover_readoptions = nullptr;
+    obs::Counter* failover_requeued_txs = nullptr;
+    obs::Counter* storage_rejoins = nullptr;
     obs::Histogram* block_latency = nullptr;
     obs::Histogram* commit_latency = nullptr;
     obs::Histogram* user_latency = nullptr;
@@ -522,6 +615,9 @@ class PorygonSystem {
   std::map<uint64_t, obs::PhaseTimer> exec_timers_;
   net::EventQueue events_;
   std::unique_ptr<net::SimNetwork> network_;
+  // Owns the active FaultPlan's hook into network_; declared after it so
+  // the injector (which clears the hook in its dtor) is destroyed first.
+  std::unique_ptr<net::FaultInjector> fault_injector_;
   std::unique_ptr<crypto::CryptoProvider> provider_;
   std::vector<std::unique_ptr<StorageNodeActor>> storage_nodes_;
   std::vector<std::unique_ptr<StatelessNodeActor>> stateless_nodes_;

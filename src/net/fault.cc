@@ -1,0 +1,184 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+
+namespace porygon::net {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  // A single wildcard link fault accumulates the loss/dup/jitter clauses.
+  LinkFault all;
+  bool have_all = false;
+  for (const std::string& clause : SplitOn(spec, ',')) {
+    if (clause.empty()) continue;
+    std::vector<std::string> f = SplitOn(clause, ':');
+    const std::string& key = f[0];
+    auto bad = [&] {
+      return Status::InvalidArgument("bad fault clause: " + clause);
+    };
+    if (key == "loss" && f.size() == 2) {
+      if (!ParseDouble(f[1], &all.loss)) return bad();
+      have_all = true;
+    } else if (key == "dup" && f.size() == 2) {
+      if (!ParseDouble(f[1], &all.duplicate)) return bad();
+      have_all = true;
+    } else if (key == "jitter" && f.size() == 2) {
+      uint64_t us = 0;
+      if (!ParseU64(f[1], &us)) return bad();
+      all.extra_delay_max = static_cast<SimTime>(us);
+      have_all = true;
+    } else if ((key == "crash" || key == "recover") && f.size() == 3) {
+      uint64_t node = 0;
+      double at_s = 0;
+      if (!ParseU64(f[1], &node) || !ParseDouble(f[2], &at_s) || at_s < 0) {
+        return bad();
+      }
+      CrashEvent ev;
+      ev.node = static_cast<NodeId>(node);
+      ev.at = FromSeconds(at_s);
+      ev.recover = key == "recover";
+      plan.crashes.push_back(ev);
+    } else if (key == "seed" && f.size() == 2) {
+      if (!ParseU64(f[1], &plan.seed)) return bad();
+    } else {
+      return bad();
+    }
+  }
+  if (have_all) plan.link_faults.push_back(all);
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, SimNetwork* network,
+                             obs::MetricsRegistry* registry,
+                             obs::Tracer* tracer, CrashHandler on_crash)
+    : plan_(std::move(plan)),
+      network_(network),
+      tracer_(tracer),
+      on_crash_(std::move(on_crash)),
+      loss_rng_(plan_.seed ^ 0x10551055u),
+      dup_rng_(plan_.seed ^ 0xd0b1d0b1u),
+      delay_rng_(plan_.seed ^ 0xde1aede1u) {
+  if (registry != nullptr) {
+    loss_counter_ =
+        registry->GetCounter("net.fault.injected", {{"type", "loss"}});
+    dup_counter_ =
+        registry->GetCounter("net.fault.injected", {{"type", "duplicate"}});
+    delay_counter_ =
+        registry->GetCounter("net.fault.injected", {{"type", "delay"}});
+    partition_counter_ =
+        registry->GetCounter("net.fault.injected", {{"type", "partition"}});
+    crash_counter_ =
+        registry->GetCounter("net.fault.events", {{"type", "crash"}});
+    recover_counter_ =
+        registry->GetCounter("net.fault.events", {{"type", "recover"}});
+  }
+  network_->SetFaultHook(
+      [this](const Message& msg) { return Decide(msg); });
+  for (const FaultPlan::CrashEvent& ev : plan_.crashes) {
+    network_->events()->ScheduleAt(ev.at, [this, ev] {
+      EmitFault(ev.recover ? "recover" : "crash",
+                ev.recover ? recover_counter_ : crash_counter_);
+      if (on_crash_) on_crash_(ev.node, !ev.recover);
+    });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  if (network_ != nullptr) network_->SetFaultHook(nullptr);
+}
+
+bool FaultInjector::Partitioned(NodeId a, NodeId b, SimTime now) const {
+  auto contains = [](const std::vector<NodeId>& group, NodeId id) {
+    for (NodeId n : group) {
+      if (n == id) return true;
+    }
+    return false;
+  };
+  for (const FaultPlan::Partition& p : plan_.partitions) {
+    if (now < p.start || now >= p.end) continue;
+    if ((contains(p.group_a, a) && contains(p.group_b, b)) ||
+        (contains(p.group_a, b) && contains(p.group_b, a))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::EmitFault(const char* type, obs::Counter* counter) {
+  if (counter != nullptr) counter->Increment();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(tracer_->FaultContext(), type, "fault_injector");
+  }
+}
+
+FaultDecision FaultInjector::Decide(const Message& msg) {
+  FaultDecision decision;
+  const SimTime now = network_->now();
+  if (Partitioned(msg.from, msg.to, now)) {
+    ++injected_drops_;
+    EmitFault("partition", partition_counter_);
+    decision.drop = true;
+    return decision;
+  }
+  for (const FaultPlan::LinkFault& lf : plan_.link_faults) {
+    if (now < lf.start || now >= lf.end) continue;
+    if (lf.from != kInvalidNode && lf.from != msg.from) continue;
+    if (lf.to != kInvalidNode && lf.to != msg.to) continue;
+    if (lf.loss > 0 && loss_rng_.NextBernoulli(lf.loss)) {
+      ++injected_drops_;
+      EmitFault("loss", loss_counter_);
+      decision.drop = true;
+      return decision;
+    }
+    if (lf.duplicate > 0 && dup_rng_.NextBernoulli(lf.duplicate)) {
+      ++injected_duplicates_;
+      EmitFault("duplicate", dup_counter_);
+      decision.duplicate = true;
+    }
+    if (lf.extra_delay_max > 0) {
+      decision.extra_delay = static_cast<SimTime>(delay_rng_.NextBelow(
+          static_cast<uint64_t>(lf.extra_delay_max) + 1));
+      if (decision.extra_delay > 0) {
+        ++injected_delays_;
+        EmitFault("delay", delay_counter_);
+      }
+    }
+    break;  // First matching active entry applies.
+  }
+  return decision;
+}
+
+}  // namespace porygon::net

@@ -1,0 +1,143 @@
+#ifndef PORYGON_NET_FAULT_H_
+#define PORYGON_NET_FAULT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "net/sim_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace porygon::net {
+
+/// Declarative description of the faults one run injects. A plan is data:
+/// it can be built programmatically (tests), parsed from a CLI spec
+/// (examples), logged, and replayed. All probabilities are evaluated
+/// against the plan's own deterministic RNG streams, so two runs with the
+/// same seed and the same plan inject byte-identical fault schedules.
+struct FaultPlan {
+  /// Per-link message corruption. `from`/`to` equal to kInvalidNode act as
+  /// wildcards, so a single entry can cover every link. The first matching
+  /// active entry applies; later entries are ignored for that message.
+  struct LinkFault {
+    NodeId from = kInvalidNode;  ///< Sender filter (kInvalidNode = any).
+    NodeId to = kInvalidNode;    ///< Receiver filter (kInvalidNode = any).
+    double loss = 0.0;           ///< P(message silently dropped).
+    double duplicate = 0.0;      ///< P(message delivered twice).
+    SimTime extra_delay_max = 0; ///< Uniform extra latency in [0, max] µs.
+    SimTime start = 0;           ///< Active window (sim time, inclusive).
+    SimTime end = kSimTimeNever;
+  };
+
+  /// Bidirectional partition: while active, traffic between any node in
+  /// `group_a` and any node in `group_b` is dropped (both directions).
+  struct Partition {
+    std::vector<NodeId> group_a;
+    std::vector<NodeId> group_b;
+    SimTime start = 0;
+    SimTime end = kSimTimeNever;
+  };
+
+  /// Scheduled crash (`recover == false`) or recovery (`recover == true`)
+  /// of one node at an absolute sim time.
+  struct CrashEvent {
+    NodeId node = kInvalidNode;
+    SimTime at = 0;
+    bool recover = false;
+  };
+
+  std::vector<LinkFault> link_faults;
+  std::vector<Partition> partitions;
+  std::vector<CrashEvent> crashes;
+  /// Seed for the plan's private RNG streams (independent of the system
+  /// seed: changing the fault seed never perturbs protocol randomness).
+  uint64_t seed = 0x0fau;
+
+  bool empty() const {
+    return link_faults.empty() && partitions.empty() && crashes.empty();
+  }
+
+  /// Parses a CLI spec of comma-separated clauses:
+  ///
+  ///   loss:<p>            all-link loss probability
+  ///   dup:<p>             all-link duplication probability
+  ///   jitter:<us>         all-link extra delay, uniform in [0, us]
+  ///   crash:<node>:<at_s> crash node at `at_s` seconds
+  ///   recover:<node>:<at_s> recover node at `at_s` seconds
+  ///   seed:<n>            fault RNG seed
+  ///
+  /// e.g. "loss:0.05,dup:0.01,crash:0:6,recover:0:20". Node ids are raw
+  /// SimNetwork ids (storage nodes occupy the lowest ids in a
+  /// PorygonSystem). Returns kInvalidArgument naming the bad clause.
+  static Result<FaultPlan> Parse(const std::string& spec);
+};
+
+/// Executes a FaultPlan against a SimNetwork: installs the network's fault
+/// hook (loss / duplication / extra delay / partitions) and schedules the
+/// plan's crash and recovery events on the network's event queue. Every
+/// injected fault increments a labelled `net.fault.*` counter and, when
+/// tracing is on, emits an instant into the tracer's fault lane — so a
+/// fault experiment can attribute exactly which injections happened when.
+///
+/// Deterministic: each fault type draws from its own forked RNG stream
+/// derived from FaultPlan::seed, and the hook is only consulted on the
+/// (deterministic) message sequence, so same seed + same plan => identical
+/// injections, byte-identical metrics and trace exports.
+class FaultInjector {
+ public:
+  /// Crash/recover callback: `crashed` is the new state. The embedding
+  /// system maps the node id onto whatever actor-level crash semantics it
+  /// has (e.g. PorygonSystem routes storage ids through its rejoin path).
+  using CrashHandler = std::function<void(NodeId node, bool crashed)>;
+
+  /// Installs the hook on `network` and schedules crash events. `registry`
+  /// and `tracer` may be null (metrics/trace emission disabled). The
+  /// injector must outlive the network's use of the hook.
+  FaultInjector(FaultPlan plan, SimNetwork* network,
+                obs::MetricsRegistry* registry, obs::Tracer* tracer,
+                CrashHandler on_crash);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_duplicates() const { return injected_duplicates_; }
+  uint64_t injected_delays() const { return injected_delays_; }
+
+ private:
+  FaultDecision Decide(const Message& msg);
+  bool Partitioned(NodeId a, NodeId b, SimTime now) const;
+  void EmitFault(const char* type, obs::Counter* counter);
+
+  FaultPlan plan_;
+  SimNetwork* network_;
+  obs::Tracer* tracer_;
+  CrashHandler on_crash_;
+
+  // One independent stream per fault type: a loss draw never shifts the
+  // duplication or delay sequence.
+  Rng loss_rng_;
+  Rng dup_rng_;
+  Rng delay_rng_;
+
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_duplicates_ = 0;
+  uint64_t injected_delays_ = 0;
+
+  obs::Counter* loss_counter_ = nullptr;
+  obs::Counter* dup_counter_ = nullptr;
+  obs::Counter* delay_counter_ = nullptr;
+  obs::Counter* partition_counter_ = nullptr;
+  obs::Counter* crash_counter_ = nullptr;
+  obs::Counter* recover_counter_ = nullptr;
+};
+
+}  // namespace porygon::net
+
+#endif  // PORYGON_NET_FAULT_H_

@@ -30,12 +30,28 @@ void SimNetwork::EnableMetrics(obs::MetricsRegistry* registry,
   kind_name_ = std::move(kind_name);
   phase_name_ = std::move(phase_name);
   counter_cache_.clear();
-  dropped_counter_ =
-      metrics_ != nullptr ? metrics_->GetCounter("net.dropped_messages")
-                          : nullptr;
-  delivered_counter_ =
-      metrics_ != nullptr ? metrics_->GetCounter("net.delivered_messages")
-                          : nullptr;
+  if (metrics_ != nullptr) {
+    dropped_sender_crashed_ = metrics_->GetCounter(
+        "net.dropped_messages", {{"reason", "sender_crashed"}});
+    dropped_receiver_crashed_ = metrics_->GetCounter(
+        "net.dropped_messages", {{"reason", "receiver_crashed"}});
+    dropped_filter_ = metrics_->GetCounter("net.dropped_messages",
+                                           {{"reason", "drop_filter"}});
+    dropped_fault_ = metrics_->GetCounter("net.dropped_messages",
+                                          {{"reason", "fault_injected"}});
+    delivered_counter_ = metrics_->GetCounter("net.delivered_messages");
+  } else {
+    dropped_sender_crashed_ = nullptr;
+    dropped_receiver_crashed_ = nullptr;
+    dropped_filter_ = nullptr;
+    dropped_fault_ = nullptr;
+    delivered_counter_ = nullptr;
+  }
+}
+
+void SimNetwork::Drop(obs::Counter* reason_counter) {
+  ++messages_dropped_;
+  if (reason_counter != nullptr) reason_counter->Increment();
 }
 
 SimNetwork::KindCounters& SimNetwork::CountersFor(uint32_t class_idx,
@@ -68,11 +84,22 @@ void SimNetwork::SetCrashed(NodeId node, bool crashed) {
 
 void SimNetwork::Send(Message msg) {
   assert(msg.from < nodes_.size() && msg.to < nodes_.size());
-  NodeState& sender = nodes_[msg.from];
-  if (sender.crashed || nodes_[msg.to].crashed ||
-      (drop_filter_ && drop_filter_(msg))) {
-    ++messages_dropped_;
-    if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+  if (nodes_[msg.from].crashed) {
+    Drop(dropped_sender_crashed_);
+    return;
+  }
+  if (nodes_[msg.to].crashed) {
+    Drop(dropped_receiver_crashed_);
+    return;
+  }
+  if (drop_filter_ && drop_filter_(msg)) {
+    Drop(dropped_filter_);
+    return;
+  }
+  FaultDecision fault;
+  if (fault_hook_) fault = fault_hook_(msg);
+  if (fault.drop) {
+    Drop(dropped_fault_);
     return;
   }
   // wire_size is authoritative: payloads may carry uncompressed in-memory
@@ -81,6 +108,12 @@ void SimNetwork::Send(Message msg) {
   // their send helpers.
   if (msg.wire_size == 0) msg.wire_size = msg.payload.size();
 
+  if (fault.duplicate) Transmit(msg, fault.extra_delay);
+  Transmit(std::move(msg), fault.extra_delay);
+}
+
+void SimNetwork::Transmit(Message msg, SimTime extra_delay) {
+  NodeState& sender = nodes_[msg.from];
   sender.stats.bytes_sent += msg.wire_size;
   sender.stats.sent_by_kind[msg.kind] += msg.wire_size;
   if (metrics_ != nullptr) {
@@ -95,7 +128,7 @@ void SimNetwork::Send(Message msg) {
   const SimTime depart = std::max(now, sender.uplink_free_at) + tx;
   sender.uplink_free_at = depart;
 
-  SimTime latency = latency_base_;
+  SimTime latency = latency_base_ + extra_delay;
   if (latency_jitter_ > 0) {
     latency += static_cast<SimTime>(
         rng_.NextBelow(static_cast<uint64_t>(latency_jitter_) + 1));
@@ -105,8 +138,7 @@ void SimNetwork::Send(Message msg) {
   events_->ScheduleAt(arrive, [this, msg = std::move(msg)]() mutable {
     NodeState& receiver = nodes_[msg.to];
     if (receiver.crashed) {
-      ++messages_dropped_;
-      if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+      Drop(dropped_receiver_crashed_);
       return;
     }
     const double down_bps = std::max(receiver.link.downlink_bps, 1.0);
@@ -118,8 +150,7 @@ void SimNetwork::Send(Message msg) {
     events_->ScheduleAt(deliver, [this, msg = std::move(msg)]() {
       NodeState& receiver = nodes_[msg.to];
       if (receiver.crashed || !receiver.handler) {
-        ++messages_dropped_;
-        if (dropped_counter_ != nullptr) dropped_counter_->Increment();
+        Drop(dropped_receiver_crashed_);
         return;
       }
       receiver.stats.bytes_received += msg.wire_size;

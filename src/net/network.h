@@ -51,6 +51,15 @@ struct TrafficStats {
   std::unordered_map<uint16_t, uint64_t> received_by_kind;
 };
 
+/// What a fault hook decided for one message (see SimNetwork::SetFaultHook):
+/// drop it, deliver it twice, and/or add extra one-way delay. Defaults mean
+/// "no fault".
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime extra_delay = 0;
+};
+
 /// Point-to-point message fabric with store-and-forward timing:
 ///
 ///   depart  = max(now, sender uplink free) + wire_size / uplink_bps
@@ -65,6 +74,8 @@ class SimNetwork {
   using Handler = std::function<void(const Message&)>;
   /// Returns true if the message must be silently dropped.
   using DropFilter = std::function<bool(const Message&)>;
+  /// Consulted per send (after crash/filter checks) by a fault injector.
+  using FaultHook = std::function<FaultDecision(const Message&)>;
 
   SimNetwork(EventQueue* events, Rng rng);
 
@@ -75,7 +86,9 @@ class SimNetwork {
 
   /// Mirrors traffic accounting into `registry` as net.sent_bytes /
   /// net.recv_bytes / net.sent_messages / net.recv_messages counters
-  /// labelled {class, kind, phase}, plus net.dropped_messages. The
+  /// labelled {class, kind, phase}, plus net.dropped_messages labelled by
+  /// {reason} (sender_crashed, receiver_crashed, drop_filter,
+  /// fault_injected). The
   /// `kind_name` / `phase_name` callbacks translate raw message kinds to
   /// stable label values so the export is protocol-aware without the net
   /// layer knowing any protocol enum. Passing nullptr disables mirroring.
@@ -85,6 +98,9 @@ class SimNetwork {
 
   void SetHandler(NodeId node, Handler handler);
   void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
+  /// Installs (or clears) the fault-injection hook. At most one is active;
+  /// a FaultInjector (net/fault.h) installs itself here.
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Base one-way propagation delay and uniform jitter added on top.
   void SetLatency(SimTime base, SimTime jitter) {
@@ -131,11 +147,18 @@ class SimNetwork {
 
   KindCounters& CountersFor(uint32_t class_idx, uint16_t kind);
 
+  /// One-copy transmission (uplink/latency/downlink modeling); `Send` calls
+  /// it once, or twice when the fault hook asked for duplication.
+  void Transmit(Message msg, SimTime extra_delay);
+  /// Counts one drop: the aggregate plus the reason-labelled counter.
+  void Drop(obs::Counter* reason_counter);
+
   EventQueue* events_;
   Rng rng_;
   std::vector<NodeState> nodes_;
   std::vector<std::string> classes_;
   DropFilter drop_filter_;
+  FaultHook fault_hook_;
   SimTime latency_base_ = FromMillis(0.5);  // Paper: 0.5 ms node<->storage.
   SimTime latency_jitter_ = 0;
   uint64_t messages_delivered_ = 0;
@@ -144,7 +167,12 @@ class SimNetwork {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::function<std::string(uint16_t)> kind_name_;
   std::function<std::string(uint16_t)> phase_name_;
-  obs::Counter* dropped_counter_ = nullptr;
+  // net.dropped_messages is labelled by reason so fault experiments can
+  // attribute loss; messages_dropped() stays the cross-reason aggregate.
+  obs::Counter* dropped_sender_crashed_ = nullptr;
+  obs::Counter* dropped_receiver_crashed_ = nullptr;
+  obs::Counter* dropped_filter_ = nullptr;
+  obs::Counter* dropped_fault_ = nullptr;
   obs::Counter* delivered_counter_ = nullptr;
   std::unordered_map<uint32_t, KindCounters> counter_cache_;
 };

@@ -85,6 +85,13 @@ class Tracer {
   /// The always-on lane for a protocol round (inactive when disabled).
   TraceContext RoundContext(uint64_t round) const;
 
+  /// The always-on lane for injected faults and failover events (inactive
+  /// when disabled). Exported as the "faults" process, so fault timelines
+  /// sit beside the round lanes they perturb.
+  TraceContext FaultContext() const {
+    return enabled_ ? TraceContext{kFaultTraceId, 0} : TraceContext{};
+  }
+
   /// Context for children of span `span_id` within `ctx`'s trace.
   static TraceContext ChildOf(const TraceContext& ctx, uint64_t span_id) {
     return TraceContext{ctx.trace_id, span_id};
@@ -129,6 +136,8 @@ class Tracer {
   /// Base for round-lane trace ids; rounds live far above any plausible
   /// transaction-sample budget so the id spaces never collide.
   static constexpr uint64_t kRoundTraceBase = 1'000'000'000;
+  /// Fixed id of the fault lane, above every plausible round id.
+  static constexpr uint64_t kFaultTraceId = 2'000'000'000;
 
  private:
   struct OpenSpan {

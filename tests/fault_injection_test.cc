@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/system.h"
+#include "net/fault.h"
 #include "net/network.h"
 #include "workload/generator.h"
 
@@ -127,6 +130,138 @@ TEST(FaultInjectionTest, CrashedStorageMinorityIsRoutedAround) {
   EXPECT_GT(sys.metrics().committed_blocks(), 8u);
   EXPECT_GT(sys.metrics().committed_intra_txs(), 0u);
   EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
+}
+
+TEST(FaultInjectionTest, PrimaryStorageCrashFailsOverAndStillCommits) {
+  // Connections are draw-ordered (no honest-first oracle), so with full
+  // connectivity every stateless node starts on storage 0. Crashing it
+  // mid-run must not end the chain: deadlines, strikes, and the round
+  // watchdog rotate everyone onto storage 1 and rounds keep closing.
+  SystemOptions opt = Opts();
+  opt.trace.enabled = true;
+  PorygonSystem sys(opt);
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 10; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  for (int i = 0; i < sys.num_stateless_nodes(); ++i) {
+    ASSERT_EQ(sys.stateless_node(i)->primary_storage(),
+              sys.storage_node(0)->net_id());
+  }
+  sys.Run(3);
+  const uint64_t committed_before = sys.metrics().committed_intra_txs();
+
+  net::FaultPlan plan;
+  plan.crashes.push_back(
+      {sys.storage_node(0)->net_id(), sys.events()->now() + net::FromMillis(500),
+       /*recover=*/false});
+  ASSERT_TRUE(sys.InjectFaults(plan).ok());
+  for (uint64_t f = 11; f <= 18; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  sys.Run(9, net::FromSeconds(600));
+
+  EXPECT_EQ(sys.metrics().committed_blocks(), 12u);
+  EXPECT_GT(sys.metrics().committed_intra_txs(), committed_before);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
+  const auto* rotations =
+      sys.metrics_registry()->FindCounter("core.failover.rotations", {});
+  ASSERT_NE(rotations, nullptr);
+  EXPECT_GT(rotations->value(), 0u);
+  const auto* crash_events = sys.metrics_registry()->FindCounter(
+      "net.fault.events", {{"type", "crash"}});
+  ASSERT_NE(crash_events, nullptr);
+  EXPECT_EQ(crash_events->value(), 1u);
+  // The failover left its marks in the trace's fault lane.
+  const std::string trace = sys.tracer()->ExportChromeJson();
+  EXPECT_NE(trace.find("\"faults\""), std::string::npos);
+  EXPECT_NE(trace.find("primary_rotation"), std::string::npos);
+  // Everyone abandoned the dead primary.
+  for (int i = 0; i < sys.num_stateless_nodes(); ++i) {
+    EXPECT_EQ(sys.stateless_node(i)->primary_storage(),
+              sys.storage_node(1)->net_id());
+  }
+}
+
+TEST(FaultInjectionTest, StorageCrashRecoverRejoinsAndIsReadopted) {
+  // Crash -> recover cycle: the node rejoins, catches up on the current
+  // round, and recovery probes move its former primaries back onto it.
+  PorygonSystem sys(Opts());
+  sys.CreateAccounts(100, 10'000);
+  for (uint64_t f = 1; f <= 10; ++f) {
+    tx::Transaction t;
+    t.from = f;
+    t.to = f + 20;
+    t.amount = 1;
+    t.nonce = 0;
+    sys.SubmitTransaction(t);
+  }
+  sys.Run(3);
+
+  net::FaultPlan plan;
+  const net::SimTime now = sys.events()->now();
+  const net::NodeId victim = sys.storage_node(0)->net_id();
+  plan.crashes.push_back({victim, now + net::FromMillis(500), false});
+  plan.crashes.push_back({victim, now + net::FromSeconds(20), true});
+  ASSERT_TRUE(sys.InjectFaults(plan).ok());
+  sys.Run(9, net::FromSeconds(600));
+
+  EXPECT_EQ(sys.metrics().committed_blocks(), 12u);
+  EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
+  const auto* rejoins =
+      sys.metrics_registry()->FindCounter("core.storage_rejoins", {});
+  ASSERT_NE(rejoins, nullptr);
+  EXPECT_EQ(rejoins->value(), 1u);
+  const auto* readoptions =
+      sys.metrics_registry()->FindCounter("core.failover.readoptions", {});
+  ASSERT_NE(readoptions, nullptr);
+  EXPECT_GT(readoptions->value(), 0u);
+}
+
+TEST(FaultInjectionTest, SameSeedSamePlanExportsAreByteIdentical) {
+  // The injector draws from its own seeded streams, so two identical runs
+  // under an active loss/dup/jitter plan inject the same faults at the same
+  // points — and the metrics and trace exports match byte for byte.
+  auto run = [] {
+    SystemOptions opt = Opts();
+    opt.trace.enabled = true;
+    PorygonSystem sys(opt);
+    sys.CreateAccounts(100, 10'000);
+    auto plan = net::FaultPlan::Parse("loss:0.02,dup:0.02,jitter:300,seed:5");
+    EXPECT_TRUE(plan.ok());
+    EXPECT_TRUE(sys.InjectFaults(*plan).ok());
+    for (uint64_t f = 1; f <= 10; ++f) {
+      tx::Transaction t;
+      t.from = f;
+      t.to = f + 20;
+      t.amount = 1;
+      t.nonce = 0;
+      sys.SubmitTransaction(t);
+    }
+    sys.Run(6, net::FromSeconds(600));
+    const auto* losses = sys.metrics_registry()->FindCounter(
+        "net.fault.injected", {{"type", "loss"}});
+    EXPECT_NE(losses, nullptr);
+    if (losses != nullptr) {
+      EXPECT_GT(losses->value(), 0u);
+    }
+    return std::make_pair(sys.metrics().ToJson(),
+                          sys.tracer()->ExportChromeJson());
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
 }
 
 TEST(FaultInjectionTest, LateJoinerSeesConsistentChainTip) {
