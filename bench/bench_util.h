@@ -6,6 +6,7 @@
 // the same series, labelled with the paper's reported values where
 // available so the shape comparison is immediate.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -114,13 +115,49 @@ double DriveOpenLoopTps(System* sys, workload::WorkloadGenerator* gen,
   return sys->metrics().Tps(sys->sim_seconds());
 }
 
+/// Real (host) elapsed time for a bench section. Wall clock lives only in
+/// bench binaries — simulation outputs stay wall-clock-free so same-seed
+/// runs export byte-identical artifacts.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Host-side run provenance stamped next to a metrics export: how long the
+/// run took in real time and how many pool worker threads it used.
+struct BenchStamp {
+  double wall_ms = 0;
+  int worker_threads = 0;
+};
+
 /// Dumps the system's full metrics registry as JSON to `path` (stdout on
-/// failure is silent: benches treat the export as best-effort).
+/// failure is silent: benches treat the export as best-effort). With a
+/// `stamp`, the registry JSON is wrapped in an envelope carrying the
+/// wall-clock provenance: {"bench": {...}, "metrics": {...}}. Only the
+/// envelope's bench block varies run-to-run; the metrics block stays
+/// byte-identical for a given seed and config at any thread count.
 inline bool WriteMetricsJson(const core::PorygonSystem& sys,
-                             const std::string& path) {
+                             const std::string& path,
+                             const BenchStamp* stamp = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;
   std::string json = sys.metrics().ToJson();
+  if (stamp != nullptr) {
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n"
+                  "\"metrics\":",
+                  stamp->wall_ms, stamp->worker_threads);
+    json = std::string(head) + json + "}";
+  }
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();

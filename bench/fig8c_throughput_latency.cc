@@ -52,11 +52,14 @@ int main(int argc, char** argv) {
                                      .shard_bits = shard_bits,
                                      .cross_shard_ratio = 0.1,
                                      .seed = 6});
+    bench::WallTimer timer;
     auto r = bench::RunOpenLoop(&sys, &gen, rounds, offered,
                                 /*est_round_s=*/5.0);
+    const double wall_ms = timer.ElapsedMs();
     bench::PrintRow({"Porygon", bench::FmtInt(offered), bench::FmtInt(r.tps),
                      bench::Fmt(r.user_latency_s)});
-    if (last && bench::WriteMetricsJson(sys, metrics_path)) {
+    bench::BenchStamp stamp{wall_ms, sys.task_pool()->thread_count()};
+    if (last && bench::WriteMetricsJson(sys, metrics_path, &stamp)) {
       std::printf("  (metrics export: %s)\n", metrics_path.c_str());
     }
     if (last && !trace_path.empty() &&
@@ -97,6 +100,43 @@ int main(int argc, char** argv) {
         &sys, &gen, 10, static_cast<size_t>(offered * 7.0));
     bench::PrintRow({"Blockene", bench::FmtInt(offered), bench::FmtInt(tps),
                      bench::Fmt(bench::MeanOf(sys.metrics().user_latencies_s))});
+  }
+
+  // Compute-runtime comparison: the highest-load Porygon configuration run
+  // serial (worker_threads = 0) and with 8 pool workers. Simulated results
+  // are byte-identical either way; only host wall-clock changes, and only
+  // when real cores are available (see EXPERIMENTS.md).
+  bench::PrintHeader(
+      "Parallel compute runtime: same run, serial vs 8 worker threads");
+  bench::PrintRow({"worker_threads", "wall_ms", "achieved_tps", "speedup"});
+  double serial_ms = 0;
+  for (int threads : {0, 8}) {
+    core::SystemOptions opt;
+    opt.params.shard_bits = shard_bits;
+    opt.params.witness_threshold = 2;
+    opt.params.execution_threshold = 2;
+    opt.params.block_tx_limit = 2000;
+    opt.num_storage_nodes = 2;
+    opt.num_stateless_nodes = 100;
+    opt.oc_size = 10;
+    opt.blocks_per_shard_round = 2;
+    opt.seed = 33;
+    opt.worker_threads = threads;
+    core::PorygonSystem sys(opt);
+    sys.CreateAccounts(1'000'000, 1'000'000);
+    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
+                                     .shard_bits = shard_bits,
+                                     .cross_shard_ratio = 0.1,
+                                     .seed = 6});
+    bench::WallTimer timer;
+    auto r = bench::RunOpenLoop(&sys, &gen, rounds, 8000.0,
+                                /*est_round_s=*/5.0);
+    const double wall_ms = timer.ElapsedMs();
+    if (threads == 0) serial_ms = wall_ms;
+    const double speedup = wall_ms > 0 ? serial_ms / wall_ms : 0;
+    bench::PrintRow({bench::FmtInt(sys.task_pool()->thread_count()),
+                     bench::FmtInt(wall_ms), bench::FmtInt(r.tps),
+                     bench::Fmt(speedup, 2) + "x"});
   }
   return 0;
 }

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the test suite — first a
-# plain build, then (unless PORYGON_SKIP_SANITIZERS=1) an ASan+UBSan build.
+# plain build, then (unless PORYGON_SKIP_SANITIZERS=1) an ASan+UBSan build
+# and a TSan build that runs the parallel-runtime and system tests with
+# worker threads enabled (PORYGON_THREADS=4).
 #
 #   scripts/check.sh              # plain + sanitized
 #   PORYGON_SKIP_SANITIZERS=1 scripts/check.sh
 #
-# Build trees live under build/ (plain, reused from a normal checkout) and
-# build-asan/ so the two configurations never share object files.
+# Build trees live under build/ (plain, reused from a normal checkout),
+# build-asan/, and build-tsan/ so configurations never share object files.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +32,18 @@ if [[ "${PORYGON_SKIP_SANITIZERS:-0}" != "1" ]]; then
   ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
   UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
     run_suite build-asan -DPORYGON_SANITIZE=address,undefined
+
+  # TSan leg: the pool fan-outs (shard execution, batch crypto, compaction,
+  # bloom builds) must be race-free with workers actually running, so force
+  # a multi-threaded pool via PORYGON_THREADS for the runtime + system
+  # suites. TSan is incompatible with ASan, hence the third build tree.
+  echo "== thread sanitized build + runtime/system ctest =="
+  cmake -B build-tsan -S . -DPORYGON_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  PORYGON_THREADS=4 \
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan --output-on-failure \
+      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db'
 fi
 
 echo "check.sh: all suites passed"

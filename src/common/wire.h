@@ -1,0 +1,140 @@
+#ifndef PORYGON_COMMON_WIRE_H_
+#define PORYGON_COMMON_WIRE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/status.h"
+
+namespace porygon::wire {
+
+/// Chainable wrapper over Encoder for message structs. Every field kind the
+/// message layer repeats by hand — fixed-width byte arrays (hashes, keys,
+/// signatures), doubles as IEEE-754 bit patterns, varints — is one call:
+///
+///   return wire::Writer()
+///       .U64(round).U8(role).Array(node_key).F64(sortition).Take();
+class Writer {
+ public:
+  Writer& U8(uint8_t v) { enc_.PutU8(v); return *this; }
+  Writer& U16(uint16_t v) { enc_.PutU16(v); return *this; }
+  Writer& U32(uint32_t v) { enc_.PutU32(v); return *this; }
+  Writer& U64(uint64_t v) { enc_.PutU64(v); return *this; }
+  Writer& Varint(uint64_t v) { enc_.PutVarint(v); return *this; }
+  Writer& Bool(bool v) { enc_.PutBool(v); return *this; }
+
+  /// IEEE-754 bits as a little-endian u64 (exact round-trip).
+  Writer& F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    enc_.PutU64(bits);
+    return *this;
+  }
+
+  /// Fixed-width byte array, no length prefix (Hash256, PublicKey, ...).
+  template <size_t N>
+  Writer& Array(const std::array<uint8_t, N>& a) {
+    enc_.PutFixed(ByteView(a.data(), N));
+    return *this;
+  }
+
+  /// Length-prefixed byte string.
+  Writer& Blob(ByteView data) { enc_.PutBytes(data); return *this; }
+  Writer& Str(std::string_view s) { enc_.PutString(s); return *this; }
+  /// Raw bytes, no length prefix (pre-encoded trailers).
+  Writer& Raw(ByteView data) { enc_.PutFixed(data); return *this; }
+
+  Bytes Take() { return enc_.TakeBuffer(); }
+  size_t size() const { return enc_.size(); }
+
+ private:
+  Encoder enc_;
+};
+
+/// Chainable wrapper over Decoder. Each accessor fills an out-param; the
+/// first failure is recorded and turns the remaining calls into no-ops, so
+/// a whole struct decodes as one chain with a single check at the end:
+///
+///   RoleAnnounce a;
+///   wire::Reader r(data);
+///   r.U64(&a.round).U8(&a.role).Array(&a.node_key);
+///   PORYGON_RETURN_IF_ERROR(r.Finish());
+///
+/// Finish() also rejects trailing bytes, the usual `!dec.Done()` epilogue.
+class Reader {
+ public:
+  explicit Reader(ByteView data) : dec_(data) {}
+
+  Reader& U8(uint8_t* out) { return Apply(out, dec_.GetU8()); }
+  Reader& U16(uint16_t* out) { return Apply(out, dec_.GetU16()); }
+  Reader& U32(uint32_t* out) { return Apply(out, dec_.GetU32()); }
+  Reader& U64(uint64_t* out) { return Apply(out, dec_.GetU64()); }
+  Reader& Varint(uint64_t* out) { return Apply(out, dec_.GetVarint()); }
+  Reader& Bool(bool* out) { return Apply(out, dec_.GetBool()); }
+
+  Reader& F64(double* out) {
+    if (!status_.ok()) return *this;
+    auto bits = dec_.GetU64();
+    if (!bits.ok()) {
+      status_ = bits.status();
+      return *this;
+    }
+    uint64_t v = bits.value();
+    std::memcpy(out, &v, sizeof(v));
+    return *this;
+  }
+
+  template <size_t N>
+  Reader& Array(std::array<uint8_t, N>* out) {
+    if (!status_.ok()) return *this;
+    auto raw = dec_.GetFixed(N);
+    if (!raw.ok()) {
+      status_ = raw.status();
+      return *this;
+    }
+    std::memcpy(out->data(), raw.value().data(), N);
+    return *this;
+  }
+
+  Reader& Blob(Bytes* out) { return Apply(out, dec_.GetBytes()); }
+  Reader& Str(std::string* out) { return Apply(out, dec_.GetString()); }
+
+  /// Consumes every remaining byte (pre-encoded trailers).
+  Reader& Rest(Bytes* out) { return Apply(out, dec_.GetFixed(dec_.remaining())); }
+
+  /// The first decode error, or Corruption when input remains unconsumed.
+  /// `what` names the message for the trailing-bytes diagnostic.
+  Status Finish(std::string_view what = "message") {
+    PORYGON_RETURN_IF_ERROR(status_);
+    if (!dec_.Done()) {
+      return Status::Corruption("trailing " + std::string(what) + " bytes");
+    }
+    return Status::Ok();
+  }
+
+  const Status& status() const { return status_; }
+  size_t remaining() const { return dec_.remaining(); }
+
+ private:
+  template <typename T, typename R>
+  Reader& Apply(T* out, R&& result) {
+    if (!status_.ok()) return *this;
+    if (!result.ok()) {
+      status_ = result.status();
+    } else {
+      *out = std::move(result).value();
+    }
+    return *this;
+  }
+
+  Decoder dec_;
+  Status status_ = Status::Ok();
+};
+
+}  // namespace porygon::wire
+
+#endif  // PORYGON_COMMON_WIRE_H_

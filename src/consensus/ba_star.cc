@@ -110,6 +110,41 @@ void BaStar::OnVote(const Vote& vote) {
   Count(vote);
 }
 
+void BaStar::OnVotes(const std::vector<Vote>& votes) {
+  if (votes.empty() || !started_ || decided_) return;
+  // Signature verification is pure, so it batches ahead of counting (one
+  // pool fan-out); membership/instance filters run first so only plausible
+  // votes are verified. Counting stays strictly in input order, with the
+  // serial loop's checks re-evaluated per vote — a quorum reached mid-batch
+  // stops later votes from counting, exactly as serial OnVote calls would.
+  constexpr size_t kNoJob = static_cast<size_t>(-1);
+  std::vector<crypto::CryptoProvider::VerifyJob> jobs;
+  std::vector<size_t> job_of(votes.size(), kNoJob);
+  for (size_t i = 0; i < votes.size(); ++i) {
+    const Vote& v = votes[i];
+    if (v.instance != instance_ || v.kind > Vote::kCert ||
+        !IsMember(v.voter)) {
+      continue;
+    }
+    job_of[i] = jobs.size();
+    jobs.push_back({v.voter, v.SigningBytes(), v.signature});
+  }
+  if (instruments_.registry != nullptr && !jobs.empty()) {
+    instruments_.registry
+        ->GetCounter("runtime.tasks", {{"phase", "verify"}})
+        ->Add(jobs.size());
+  }
+  const std::vector<uint8_t> ok = provider_->VerifyBatch(jobs);
+  for (size_t i = 0; i < votes.size(); ++i) {
+    if (decided_) return;
+    if (job_of[i] == kNoJob || ok[job_of[i]] == 0) continue;
+    if (instruments_.votes_received != nullptr) {
+      instruments_.votes_received->Increment();
+    }
+    Count(votes[i]);
+  }
+}
+
 void BaStar::Count(const Vote& vote) {
   // First vote per (voter, step, kind) wins: equivocation is inert.
   auto& seen = voted_[{vote.step, vote.kind}];

@@ -120,6 +120,12 @@ class BaStar {
   /// Feeds a vote received from the network (self-votes are internal).
   void OnVote(const Vote& vote);
 
+  /// Feeds a batch of buffered votes: signature checks fan out in one
+  /// CryptoProvider::VerifyBatch call, then votes are counted in input
+  /// order — observationally identical to a serial OnVote loop (including
+  /// the early exit once a quorum decides mid-batch).
+  void OnVotes(const std::vector<Vote>& votes);
+
   /// Advances to the next step, re-voting the value with the most soft
   /// support (fallback for lossy/adversarial schedules).
   void OnTimeout();

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/wire.h"
 #include "crypto/sha256.h"
 
 namespace porygon::core {
@@ -34,17 +35,6 @@ Result<crypto::Signature> GetSig(Decoder* dec) {
   crypto::Signature s;
   std::memcpy(s.data(), raw.data(), 64);
   return s;
-}
-void PutDouble(Encoder* enc, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, 8);
-  enc->PutU64(bits);
-}
-Result<double> GetDouble(Decoder* dec) {
-  PORYGON_ASSIGN_OR_RETURN(uint64_t bits, dec->GetU64());
-  double v;
-  std::memcpy(&v, &bits, 8);
-  return v;
 }
 // State updates are varint-coded: typical entries (20-bit accounts, sub-2^32
 // balances, tiny nonces) cost ~8 bytes instead of 24 — these lists dominate
@@ -118,61 +108,57 @@ const char* PhaseLabelName(int phase) {
 }
 
 Bytes RoleAnnounce::Encode() const {
-  Encoder enc;
-  enc.PutU64(round);
-  enc.PutU8(role);
-  enc.PutU32(shard);
-  PutDouble(&enc, sortition);
-  PutKey(&enc, node_key);
-  PutSig(&enc, proof.proof);
-  PutHash(&enc, proof.output);
-  enc.PutU32(node_id);
-  return enc.TakeBuffer();
+  return wire::Writer()
+      .U64(round)
+      .U8(role)
+      .U32(shard)
+      .F64(sortition)
+      .Array(node_key)
+      .Array(proof.proof)
+      .Array(proof.output)
+      .U32(node_id)
+      .Take();
 }
 
 Result<RoleAnnounce> RoleAnnounce::Decode(ByteView data) {
-  Decoder dec(data);
   RoleAnnounce a;
-  PORYGON_ASSIGN_OR_RETURN(a.round, dec.GetU64());
-  PORYGON_ASSIGN_OR_RETURN(a.role, dec.GetU8());
-  PORYGON_ASSIGN_OR_RETURN(a.shard, dec.GetU32());
-  PORYGON_ASSIGN_OR_RETURN(a.sortition, GetDouble(&dec));
-  PORYGON_ASSIGN_OR_RETURN(a.node_key, GetKey(&dec));
-  PORYGON_ASSIGN_OR_RETURN(a.proof.proof, GetSig(&dec));
-  PORYGON_ASSIGN_OR_RETURN(a.proof.output, GetHash(&dec));
-  PORYGON_ASSIGN_OR_RETURN(a.node_id, dec.GetU32());
-  if (!dec.Done()) return Status::Corruption("trailing announce bytes");
+  wire::Reader r(data);
+  r.U64(&a.round)
+      .U8(&a.role)
+      .U32(&a.shard)
+      .F64(&a.sortition)
+      .Array(&a.node_key)
+      .Array(&a.proof.proof)
+      .Array(&a.proof.output)
+      .U32(&a.node_id);
+  PORYGON_RETURN_IF_ERROR(r.Finish("announce"));
   return a;
 }
 
-Bytes ResyncRequest::Encode() const {
-  Encoder enc;
-  enc.PutU64(round);
-  return enc.TakeBuffer();
-}
+Bytes ResyncRequest::Encode() const { return wire::Writer().U64(round).Take(); }
 
 Result<ResyncRequest> ResyncRequest::Decode(ByteView data) {
-  Decoder dec(data);
-  ResyncRequest r;
-  PORYGON_ASSIGN_OR_RETURN(r.round, dec.GetU64());
-  if (!dec.Done()) return Status::Corruption("trailing resync bytes");
-  return r;
+  ResyncRequest req;
+  wire::Reader r(data);
+  r.U64(&req.round);
+  PORYGON_RETURN_IF_ERROR(r.Finish("resync"));
+  return req;
 }
 
 Bytes WitnessUpload::Encode() const {
-  Encoder enc;
-  enc.PutU64(round);
-  enc.PutU32(shard);
-  enc.PutFixed(proof.Encode());
-  return enc.TakeBuffer();
+  return wire::Writer()
+      .U64(round)
+      .U32(shard)
+      .Raw(proof.Encode())
+      .Take();
 }
 
 Result<WitnessUpload> WitnessUpload::Decode(ByteView data) {
-  Decoder dec(data);
   WitnessUpload w;
-  PORYGON_ASSIGN_OR_RETURN(w.round, dec.GetU64());
-  PORYGON_ASSIGN_OR_RETURN(w.shard, dec.GetU32());
-  PORYGON_ASSIGN_OR_RETURN(Bytes rest, dec.GetFixed(dec.remaining()));
+  Bytes rest;
+  wire::Reader r(data);
+  r.U64(&w.round).U32(&w.shard).Rest(&rest);
+  PORYGON_RETURN_IF_ERROR(r.status());
   PORYGON_ASSIGN_OR_RETURN(w.proof, tx::WitnessProof::Decode(rest));
   return w;
 }

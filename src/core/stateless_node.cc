@@ -675,8 +675,14 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
   if (!in_oc_) return;
   auto result = ExecResultMsg::Decode(msg.payload);
   if (!result.ok()) return;
-  if (!system_->provider()->Verify(result->signer, result->SigningBytes(),
-                                   result->signature)) {
+  // Routed through the batch entry point so the pool covers exec-result
+  // verification too (each message arrives as its own event, so batches are
+  // singletons here; results match per-item Verify exactly).
+  system_->obs_.runtime_verify_tasks->Increment();
+  if (system_->provider()
+          ->VerifyBatch({{result->signer, result->SigningBytes(),
+                          result->signature}})
+          .front() == 0) {
     return;
   }
   auto& pending =
@@ -720,21 +726,41 @@ void StatelessNodeActor::MaybePropose() {
   std::vector<tx::Transaction> round_txs;
   auto bundle = bundles_.find(r - 1);
   if (bundle != bundles_.end()) {
-    std::vector<const WitnessedBlock*> ordered;
+    // Verify every distinct witness signature of the bundle in one batch
+    // (the round's biggest verification fan-out), then count valid
+    // witnesses per block. Dedup-then-verify semantics and block order are
+    // those of the former serial loop.
+    std::vector<crypto::CryptoProvider::VerifyJob> jobs;
+    struct BlockJobs {
+      const WitnessedBlock* wb;
+      size_t begin;
+      size_t count;
+    };
+    std::vector<BlockJobs> per_block;
     for (const auto& [key, wb] : bundle->second) {
-      // Verify witness signatures; count distinct valid witnesses.
-      size_t valid = 0;
       Bytes signing = WitnessSigningBytes(wb.header);
       std::set<crypto::PublicKey> seen;
+      const size_t begin = jobs.size();
       for (const auto& proof : wb.proofs) {
         if (!seen.insert(proof.witness).second) continue;
-        if (system_->provider()->Verify(proof.witness, signing,
-                                        proof.signature)) {
-          ++valid;
-        }
+        jobs.push_back({proof.witness, signing, proof.signature});
+      }
+      per_block.push_back({&wb, begin, jobs.size() - begin});
+    }
+    system_->obs_.runtime_verify_tasks->Add(jobs.size());
+    const uint64_t wall_before = system_->task_pool()->wall_us();
+    const std::vector<uint8_t> ok = system_->provider()->VerifyBatch(jobs);
+    system_->obs_.runtime_verify_wall_us->Add(static_cast<double>(
+        system_->task_pool()->wall_us() - wall_before));
+
+    std::vector<const WitnessedBlock*> ordered;
+    for (const BlockJobs& bj : per_block) {
+      size_t valid = 0;
+      for (size_t i = bj.begin; i < bj.begin + bj.count; ++i) {
+        valid += ok[i];
       }
       if (valid >= static_cast<size_t>(p.witness_threshold)) {
-        ordered.push_back(&wb);
+        ordered.push_back(bj.wb);
       }
     }
     // Deterministic order (map iteration is already id-sorted).
@@ -865,7 +891,9 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
                      TraceName());
     }
     ba_->Propose(current_round_, hash);
-    for (const auto& v : pending_votes_) ba_->OnVote(v);
+    // Replay buffered early votes as one batch (signatures verify on the
+    // pool; counting order is the buffer order, as before).
+    ba_->OnVotes(pending_votes_);
     pending_votes_.clear();
     // Timeout driver: re-step while undecided. The driver function holds
     // itself only weakly — each scheduled event keeps a strong reference, so

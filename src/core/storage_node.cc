@@ -30,6 +30,7 @@ StorageNodeActor::StorageNodeActor(PorygonSystem* system, int index,
   storage::DbOptions db_options;
   db_options.metrics = system->metrics_registry();
   db_options.metrics_node = std::to_string(index);
+  db_options.pool = system->task_pool();
   auto db = storage::Db::Open(env_.get(), "db", db_options);
   db_ = std::move(db).value();
 }

@@ -80,6 +80,9 @@ Status SystemOptions::Validate() const {
   if (mean_session_s < 0) {
     return Status::InvalidArgument("mean_session_s must be >= 0");
   }
+  if (worker_threads < 0) {
+    return Status::InvalidArgument("worker_threads must be >= 0");
+  }
   if (params.shard_bits < 0 || params.shard_bits > 20) {
     return Status::InvalidArgument("shard_bits outside [0,20]");
   }
@@ -256,6 +259,23 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   obs_.failover_requeued_txs =
       metrics_registry_.GetCounter("core.failover.requeued_txs");
   obs_.storage_rejoins = metrics_registry_.GetCounter("core.storage_rejoins");
+  // Compute-pool fan-out. Task counts are index counts — deterministic for
+  // any thread configuration; wall time is volatile (kept off the exports).
+  obs_.runtime_exec_tasks =
+      metrics_registry_.GetCounter("runtime.tasks", {{"phase", "exec"}});
+  obs_.runtime_accounts_tasks =
+      metrics_registry_.GetCounter("runtime.tasks", {{"phase", "accounts"}});
+  obs_.runtime_verify_tasks =
+      metrics_registry_.GetCounter("runtime.tasks", {{"phase", "verify"}});
+  obs_.runtime_exec_wall_us =
+      metrics_registry_.GetVolatileGauge("runtime.wall_us",
+                                         {{"phase", "exec"}});
+  obs_.runtime_accounts_wall_us =
+      metrics_registry_.GetVolatileGauge("runtime.wall_us",
+                                         {{"phase", "accounts"}});
+  obs_.runtime_verify_wall_us =
+      metrics_registry_.GetVolatileGauge("runtime.wall_us",
+                                         {{"phase", "verify"}});
 
   tracer_.Configure(options_.trace, [this] { return events_.now(); });
   events_.EnableMetrics(&metrics_registry_);
@@ -273,11 +293,16 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
       });
   network_->SetLatency(options_.params.latency_us,
                        options_.params.latency_jitter_us);
+  // Compute pool for shard execution, batch verification, and storage
+  // maintenance (see runtime/task_pool.h for the determinism contract).
+  pool_ = std::make_unique<runtime::TaskPool>(
+      runtime::TaskPool::ResolveThreads(options_.worker_threads));
   if (options_.use_ed25519) {
     provider_ = std::make_unique<crypto::Ed25519Provider>();
   } else {
     provider_ = std::make_unique<crypto::FastProvider>();
   }
+  provider_->SetTaskPool(pool_.get());
   exec_state_ =
       std::make_unique<state::ShardedState>(options_.params.shard_bits);
 
@@ -407,9 +432,16 @@ void PorygonSystem::CreateAccounts(uint64_t count, uint64_t balance) {
     by_shard[exec_state_->ShardOf(id)].emplace_back(
         id, state::Account{balance, 0});
   }
-  for (int d = 0; d < options_.params.shard_count(); ++d) {
-    exec_state_->PutAccountBatch(d, by_shard[d]);
-  }
+  // Shard subtrees are disjoint, so the per-shard rehash passes fan out on
+  // the compute pool (byte-identical roots for any thread count).
+  const int shards = options_.params.shard_count();
+  const uint64_t wall_before = pool_->wall_us();
+  pool_->ParallelFor(static_cast<size_t>(shards), [&](size_t d) {
+    exec_state_->PutAccountBatch(static_cast<uint32_t>(d), by_shard[d]);
+  });
+  obs_.runtime_accounts_tasks->Add(static_cast<uint64_t>(shards));
+  obs_.runtime_accounts_wall_us->Add(
+      static_cast<double>(pool_->wall_us() - wall_before));
   next_account_hint_ += count;
 }
 
@@ -516,6 +548,22 @@ void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
     }
   }
 
+  // Fan the per-shard executions out on the compute pool: each body writes
+  // only its own shard's subtree (SnapshotForeignView confines writes, and
+  // foreign reads come from the per-body snapshot copy), and each result
+  // lands in its own slot. The cross-shard merge below runs on the caller
+  // in index order, so the cache is identical for any thread count.
+  std::vector<ExecutionResult> results(shards);
+  const uint64_t wall_before = pool_->wall_us();
+  pool_->ParallelFor(static_cast<size_t>(shards), [&](size_t d) {
+    SnapshotForeignView view(exec_state_.get(), static_cast<uint32_t>(d),
+                             snapshot);
+    results[d] = ShardExecutor::Execute(&view, inputs[d]);
+  });
+  obs_.runtime_exec_tasks->Add(static_cast<uint64_t>(shards));
+  obs_.runtime_exec_wall_us->Add(
+      static_cast<double>(pool_->wall_us() - wall_before));
+
   CachedExec cache;
   cache.roots.resize(shards);
   cache.s_sets.resize(shards);
@@ -523,10 +571,9 @@ void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
   cache.cross_pre.resize(shards);
   cache.failed.resize(shards);
   for (int d = 0; d < shards; ++d) {
-    SnapshotForeignView view(exec_state_.get(), d, snapshot);
-    ExecutionResult r = ShardExecutor::Execute(&view, inputs[d]);
+    ExecutionResult& r = results[d];
     cache.roots[d] = r.shard_root;
-    cache.s_sets[d] = r.cross_updates;
+    cache.s_sets[d] = std::move(r.cross_updates);
     cache.intra_applied[d] = r.intra_applied;
     cache.cross_pre[d] = r.cross_pre_executed;
     cache.failed[d] = static_cast<uint32_t>(r.failed.size());

@@ -22,6 +22,7 @@
 #include "crypto/provider.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "runtime/task_pool.h"
 #include "state/sharded_state.h"
 #include "storage/db.h"
 #include "storage/env.h"
@@ -50,6 +51,11 @@ struct SystemOptions {
   size_t blocks_per_shard_round = 2;
   /// Deterministic seed for keys, topology, jitter, adversary placement.
   uint64_t seed = 1;
+  /// Worker threads for the compute pool (shard execution, batch signature
+  /// verification, compaction, bloom builds). 0 = serial on the event-loop
+  /// thread; the PORYGON_THREADS environment variable overrides when set.
+  /// Results are byte-identical for any value (see runtime/task_pool.h).
+  int worker_threads = 0;
   /// Real Ed25519 instead of the fast MAC backend (slow; small tests only).
   bool use_ed25519 = false;
   /// Faithful mode: storage nodes materialize real Merkle proofs in state
@@ -439,6 +445,8 @@ class PorygonSystem {
   const SystemOptions& options() const { return options_; }
   const Params& params() const { return options_.params; }
   crypto::CryptoProvider* provider() { return provider_.get(); }
+  /// The deployment's compute pool (never null; 0-worker pools run serial).
+  runtime::TaskPool* task_pool() { return pool_.get(); }
   double sim_seconds() const { return net::ToSeconds(events_.now()); }
 
   StorageNodeActor* storage_node(int i) { return storage_nodes_[i].get(); }
@@ -566,6 +574,15 @@ class PorygonSystem {
     obs::Counter* failover_readoptions = nullptr;
     obs::Counter* failover_requeued_txs = nullptr;
     obs::Counter* storage_rejoins = nullptr;
+    // Compute-pool fan-out (index counts: deterministic for any thread
+    // count). Wall-clock time lives in volatile gauges, off the exports.
+    obs::Counter* runtime_exec_tasks = nullptr;
+    obs::Counter* runtime_accounts_tasks = nullptr;
+    obs::Counter* runtime_verify_tasks = nullptr;
+    // Volatile (never exported), one per phase.
+    obs::Gauge* runtime_exec_wall_us = nullptr;
+    obs::Gauge* runtime_accounts_wall_us = nullptr;
+    obs::Gauge* runtime_verify_wall_us = nullptr;
     obs::Histogram* block_latency = nullptr;
     obs::Histogram* commit_latency = nullptr;
     obs::Histogram* user_latency = nullptr;
@@ -618,6 +635,9 @@ class PorygonSystem {
   // Owns the active FaultPlan's hook into network_; declared after it so
   // the injector (which clears the hook in its dtor) is destroyed first.
   std::unique_ptr<net::FaultInjector> fault_injector_;
+  // Declared before the provider and actors, which hold pointers into it
+  // (batch verification, storage-engine maintenance) — destroyed after them.
+  std::unique_ptr<runtime::TaskPool> pool_;
   std::unique_ptr<crypto::CryptoProvider> provider_;
   std::vector<std::unique_ptr<StorageNodeActor>> storage_nodes_;
   std::vector<std::unique_ptr<StatelessNodeActor>> stateless_nodes_;

@@ -3,8 +3,44 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
+#include "runtime/task_pool.h"
 
 namespace porygon::crypto {
+
+std::vector<uint8_t> CryptoProvider::VerifyBatch(
+    const std::vector<VerifyJob>& jobs) {
+  std::vector<uint8_t> ok(jobs.size(), 0);
+  auto one = [&](size_t i) {
+    const VerifyJob& j = jobs[i];
+    ok[i] = Verify(j.pub, ByteView(j.message.data(), j.message.size()), j.sig)
+                ? 1
+                : 0;
+  };
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) one(i);
+  } else {
+    pool_->ParallelFor(jobs.size(), one);
+  }
+  return ok;
+}
+
+std::vector<uint8_t> CryptoProvider::VerifyProofBatch(
+    const std::vector<ProofVerifyJob>& jobs) {
+  std::vector<uint8_t> ok(jobs.size(), 0);
+  auto one = [&](size_t i) {
+    const ProofVerifyJob& j = jobs[i];
+    ok[i] =
+        VerifyProof(j.pub, ByteView(j.input.data(), j.input.size()), j.proof)
+            ? 1
+            : 0;
+  };
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) one(i);
+  } else {
+    pool_->ParallelFor(jobs.size(), one);
+  }
+  return ok;
+}
 
 KeyPair Ed25519Provider::GenerateKeyPair(Rng* rng) {
   return Ed25519GenerateKeyPair(rng);

@@ -5,9 +5,15 @@
 #include <mutex>
 #include <unordered_map>
 
+#include <vector>
+
 #include "common/bytes.h"
 #include "crypto/ed25519.h"
 #include "crypto/vrf.h"
+
+namespace porygon::runtime {
+class TaskPool;
+}  // namespace porygon::runtime
 
 namespace porygon::crypto {
 
@@ -33,6 +39,39 @@ class CryptoProvider {
   virtual VrfProof Prove(const PrivateKey& priv, ByteView input) = 0;
   virtual bool VerifyProof(const PublicKey& pub, ByteView input,
                            const VrfProof& proof) = 0;
+
+  // --- Batch verification --------------------------------------------------
+  // Independent verifications fan out on the attached TaskPool; results come
+  // back in job order, so callers observe exactly what a serial loop over
+  // Verify/VerifyProof would produce (byte-identical for any thread count).
+  // Jobs own their message bytes: callers may batch across messages that go
+  // out of scope before the batch runs.
+  struct VerifyJob {
+    PublicKey pub;
+    Bytes message;
+    Signature sig;
+  };
+  struct ProofVerifyJob {
+    PublicKey pub;
+    Bytes input;
+    VrfProof proof;
+  };
+
+  /// One result byte per job (1 = valid), in job order. Runs serially when
+  /// no pool is attached. Elements use uint8_t, not bool: parallel writers
+  /// need one addressable byte per index.
+  std::vector<uint8_t> VerifyBatch(const std::vector<VerifyJob>& jobs);
+  std::vector<uint8_t> VerifyProofBatch(
+      const std::vector<ProofVerifyJob>& jobs);
+
+  /// Attaches the pool batch entry points fan out on (nullptr = serial).
+  /// Implementations' Verify/VerifyProof must be safe to call concurrently
+  /// once a pool is attached (both shipped providers are).
+  void SetTaskPool(runtime::TaskPool* pool) { pool_ = pool; }
+  runtime::TaskPool* task_pool() const { return pool_; }
+
+ private:
+  runtime::TaskPool* pool_ = nullptr;
 };
 
 /// Real Ed25519 + hash-based VRF.

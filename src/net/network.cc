@@ -5,6 +5,26 @@
 
 namespace porygon::net {
 
+namespace {
+std::vector<std::pair<uint16_t, uint64_t>> SortedByKind(
+    const std::unordered_map<uint16_t, uint64_t>& by_kind) {
+  std::vector<std::pair<uint16_t, uint64_t>> out(by_kind.begin(),
+                                                 by_kind.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::vector<std::pair<uint16_t, uint64_t>> TrafficStats::SortedSentByKind()
+    const {
+  return SortedByKind(sent_by_kind);
+}
+
+std::vector<std::pair<uint16_t, uint64_t>> TrafficStats::SortedReceivedByKind()
+    const {
+  return SortedByKind(received_by_kind);
+}
+
 SimNetwork::SimNetwork(EventQueue* events, Rng rng)
     : events_(events), rng_(rng) {}
 

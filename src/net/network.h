@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -49,6 +50,13 @@ struct TrafficStats {
   uint64_t bytes_received = 0;
   std::unordered_map<uint16_t, uint64_t> sent_by_kind;
   std::unordered_map<uint16_t, uint64_t> received_by_kind;
+
+  /// By-kind counters with keys sorted ascending. unordered_map iteration
+  /// order is hash- and libc-dependent, so anything that serializes or
+  /// aggregates these maps must go through the sorted views to stay
+  /// byte-identical across platforms and runs.
+  std::vector<std::pair<uint16_t, uint64_t>> SortedSentByKind() const;
+  std::vector<std::pair<uint16_t, uint64_t>> SortedReceivedByKind() const;
 };
 
 /// What a fault hook decided for one message (see SimNetwork::SetFaultHook):

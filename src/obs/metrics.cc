@@ -109,6 +109,19 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
   return it->second.instrument.get();
 }
 
+Gauge* MetricsRegistry::GetVolatileGauge(const std::string& name,
+                                         const Labels& labels) {
+  Labels sorted = SortedLabels(labels);
+  auto [it, inserted] =
+      volatile_gauges_.try_emplace(CanonicalKey(name, sorted));
+  if (inserted) {
+    it->second.name = name;
+    it->second.labels = std::move(sorted);
+    it->second.instrument = std::make_unique<Gauge>();
+  }
+  return it->second.instrument.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds,
                                          const Labels& labels) {
@@ -139,6 +152,13 @@ const Gauge* MetricsRegistry::FindGauge(const std::string& name,
   return it == gauges_.end() ? nullptr : it->second.instrument.get();
 }
 
+const Gauge* MetricsRegistry::FindVolatileGauge(const std::string& name,
+                                                const Labels& labels) const {
+  auto it = volatile_gauges_.find(CanonicalKey(name, SortedLabels(labels)));
+  return it == volatile_gauges_.end() ? nullptr
+                                      : it->second.instrument.get();
+}
+
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
                                                 const Labels& labels) const {
   auto it = histograms_.find(CanonicalKey(name, SortedLabels(labels)));
@@ -163,6 +183,14 @@ void MetricsRegistry::VisitGauges(
     const std::function<void(const std::string&, const Labels&, const Gauge&)>&
         fn) const {
   for (const auto& [key, series] : gauges_) {
+    fn(series.name, series.labels, *series.instrument);
+  }
+}
+
+void MetricsRegistry::VisitVolatileGauges(
+    const std::function<void(const std::string&, const Labels&, const Gauge&)>&
+        fn) const {
+  for (const auto& [key, series] : volatile_gauges_) {
     fn(series.name, series.labels, *series.instrument);
   }
 }

@@ -104,6 +104,11 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name, const Labels& labels = {});
   Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  /// A gauge excluded from Visit/ExportJson/ExportCsv: for values that are
+  /// real but nondeterministic (wall-clock timings), which must never leak
+  /// into the byte-identical same-seed exports. Read it back with
+  /// FindVolatileGauge or VisitVolatileGauges.
+  Gauge* GetVolatileGauge(const std::string& name, const Labels& labels = {});
   /// `bounds` applies only on first creation of this (name, labels) series.
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds,
@@ -115,6 +120,8 @@ class MetricsRegistry {
                              const Labels& labels = {}) const;
   const Gauge* FindGauge(const std::string& name,
                          const Labels& labels = {}) const;
+  const Gauge* FindVolatileGauge(const std::string& name,
+                                 const Labels& labels = {}) const;
   const Histogram* FindHistogram(const std::string& name,
                                  const Labels& labels = {}) const;
 
@@ -132,6 +139,10 @@ class MetricsRegistry {
   void VisitHistograms(
       const std::function<void(const std::string& name, const Labels& labels,
                                const Histogram& histogram)>& fn) const;
+  /// Volatile gauges only (never visited by VisitGauges or the exporters).
+  void VisitVolatileGauges(
+      const std::function<void(const std::string& name, const Labels& labels,
+                               const Gauge& gauge)>& fn) const;
 
   size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
@@ -151,6 +162,7 @@ class MetricsRegistry {
 
   std::map<std::string, Series<Counter>> counters_;
   std::map<std::string, Series<Gauge>> gauges_;
+  std::map<std::string, Series<Gauge>> volatile_gauges_;
   std::map<std::string, Series<Histogram>> histograms_;
 };
 

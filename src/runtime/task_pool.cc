@@ -1,0 +1,108 @@
+#include "runtime/task_pool.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace porygon::runtime {
+
+TaskPool::TaskPool(int threads) {
+  if (threads < 0) threads = 0;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::RunIndices(Batch* batch) {
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) break;
+    (*batch->body)(i);
+    batch->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (batch_ != nullptr && batch_seq_ != seen_seq);
+      });
+      if (stop_) return;
+      batch = batch_;
+      seen_seq = batch_seq_;
+      batch->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    RunIndices(batch);
+    {
+      // Exit under the lock so the caller's completion wait cannot miss the
+      // notification; once active drops to 0 with all indices done, the
+      // caller may destroy the (stack-allocated) batch.
+      std::unique_lock<std::mutex> lock(mu_);
+      batch->active.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const auto start = std::chrono::steady_clock::now();
+  if (workers_.empty()) {
+    // Serial fallback: same per-index body, caller thread, index order.
+    for (size_t i = 0; i < n; ++i) body(i);
+  } else {
+    Batch batch;
+    batch.n = n;
+    batch.body = &body;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ = &batch;
+      ++batch_seq_;
+    }
+    work_cv_.notify_all();
+    // The caller participates too, then blocks until every index has
+    // finished and every worker has stepped out of the batch.
+    RunIndices(&batch);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return batch.done.load(std::memory_order_acquire) == batch.n &&
+               batch.active.load(std::memory_order_acquire) == 0;
+      });
+      batch_ = nullptr;
+    }
+  }
+  tasks_run_ += n;
+  wall_us_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+int TaskPool::ResolveThreads(int requested) {
+  if (requested < 0) requested = 0;
+  const char* env = std::getenv("PORYGON_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v >= 0 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  return requested;
+}
+
+}  // namespace porygon::runtime

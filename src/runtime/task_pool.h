@@ -1,0 +1,100 @@
+#ifndef PORYGON_RUNTIME_TASK_POOL_H_
+#define PORYGON_RUNTIME_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace porygon::runtime {
+
+// A small fork-join worker pool for fanning deterministic compute out of the
+// single-threaded event loop. The pool never runs free-floating tasks: every
+// ParallelFor call blocks the caller until all indices have completed, so
+// from the event loop's point of view the work is synchronous and the sim
+// clock is untouched. Determinism contract for submitted bodies:
+//
+//   * a body for index i may only read shared inputs and write state that is
+//     disjoint per index (e.g. out[i], a per-shard subtree);
+//   * bodies must not touch the RNG, the sim clock, the event queue, the
+//     Logger, or the Tracer;
+//   * any cross-index merge happens on the caller thread afterwards, in
+//     index order.
+//
+// Under this contract the observable result is byte-identical whether the
+// pool has 0 workers (serial fallback on the caller thread) or N.
+class TaskPool {
+ public:
+  // Creates a pool with `threads` workers. 0 means no workers: ParallelFor
+  // degenerates to a plain serial loop on the caller thread, running the
+  // exact same per-index body.
+  explicit TaskPool(int threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(i) for every i in [0, n), blocking until all complete.
+  // Indices are claimed dynamically, so bodies may run in any order and on
+  // any thread — the body must be safe under the contract above. Exceptions
+  // thrown by bodies are not supported (the codebase is exception-free).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  // Cumulative bookkeeping, maintained by the calling thread (reading it is
+  // only meaningful from the event-loop thread). tasks_run counts indices
+  // executed; wall_us is real elapsed time inside ParallelFor. Wall time is
+  // inherently nondeterministic and must never reach a deterministic export.
+  uint64_t tasks_run() const { return tasks_run_; }
+  uint64_t wall_us() const { return wall_us_; }
+
+  // Resolves a requested thread count against the PORYGON_THREADS
+  // environment variable (which wins when set to a valid non-negative
+  // integer). Negative requests are treated as 0.
+  static int ResolveThreads(int requested);
+
+ private:
+  struct Batch {
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<int> active{0};  // Workers currently inside the batch.
+  };
+
+  void WorkerLoop();
+  static void RunIndices(Batch* batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;  // Guarded by mu_; non-null while a batch runs.
+  uint64_t batch_seq_ = 0;  // Guarded by mu_; bumped per ParallelFor.
+  bool stop_ = false;       // Guarded by mu_.
+
+  uint64_t tasks_run_ = 0;  // Caller-thread only.
+  uint64_t wall_us_ = 0;    // Caller-thread only.
+};
+
+// Runs fn(i) for every i in [0, n) on the pool and returns the results in
+// index order. `fn` must obey the TaskPool determinism contract. `pool` may
+// be null (serial).
+template <typename T, typename Fn>
+std::vector<T> ParallelMap(TaskPool* pool, size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  pool->ParallelFor(n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace porygon::runtime
+
+#endif  // PORYGON_RUNTIME_TASK_POOL_H_

@@ -4,6 +4,7 @@
 
 #include "common/codec.h"
 #include "common/log.h"
+#include "runtime/task_pool.h"
 
 namespace porygon::storage {
 
@@ -32,6 +33,27 @@ Db::Db(Env* env, std::string dir, DbOptions options)
     bloom_negatives_ =
         options_.metrics->GetCounter("db.bloom_negatives", labels);
     l0_gauge_ = options_.metrics->GetGauge("db.l0_tables", labels);
+    // Pool phases aggregate across nodes (no node label), matching the
+    // system-level runtime.tasks series. Task counts are deterministic;
+    // wall time is volatile and excluded from exports.
+    runtime_compact_tasks_ =
+        options_.metrics->GetCounter("runtime.tasks", {{"phase", "compact"}});
+    runtime_bloom_tasks_ =
+        options_.metrics->GetCounter("runtime.tasks", {{"phase", "bloom"}});
+    runtime_compact_wall_us_ = options_.metrics->GetVolatileGauge(
+        "runtime.wall_us", {{"phase", "compact"}});
+    runtime_bloom_wall_us_ = options_.metrics->GetVolatileGauge(
+        "runtime.wall_us", {{"phase", "bloom"}});
+  }
+}
+
+uint64_t Db::PoolWallUs() const {
+  return options_.pool != nullptr ? options_.pool->wall_us() : 0;
+}
+
+void Db::RecordPoolWall(obs::Gauge* gauge, uint64_t wall_before) const {
+  if (gauge != nullptr && options_.pool != nullptr) {
+    gauge->Add(static_cast<double>(options_.pool->wall_us() - wall_before));
   }
 }
 
@@ -263,6 +285,7 @@ Status Db::FlushLocked() {
 
   uint64_t number = next_table_number_++;
   SstableBuilder builder(env_, TablePath(number));
+  builder.set_pool(options_.pool);
   // The memtable orders same-key versions newest-first; emit only the first.
   Bytes last_key;
   bool have_last = false;
@@ -278,7 +301,13 @@ Status Db::FlushLocked() {
     }
     it.Next();
   }
+  const uint64_t wall_before = PoolWallUs();
   PORYGON_RETURN_IF_ERROR(builder.Finish());
+  RecordPoolWall(runtime_bloom_wall_us_, wall_before);
+  if (runtime_bloom_tasks_ != nullptr) {
+    runtime_bloom_tasks_->Add(
+        BloomFilterBuilder::PartitionCount(builder.entries_added()));
+  }
 
   PORYGON_ASSIGN_OR_RETURN(auto reader,
                            SstableReader::Open(env_, TablePath(number)));
@@ -307,28 +336,63 @@ Status Db::CompactAll() {
   if (l0_.empty() && !l1_) return Status::Ok();
   if (compactions_ != nullptr) compactions_->Increment();
 
+  // Extract every table's entries, fanning out one task per table when a
+  // pool is attached — readers are immutable and disjoint, and MemEnv
+  // serves finished tables lock-free, so concurrent ForEach is safe. The
+  // newest-wins merge stays serial: sequence numbers arbitrate, so the
+  // merged map is identical regardless of extraction order.
+  std::vector<const SstableReader*> tables;
+  if (l1_) tables.push_back(l1_->reader.get());
+  for (const auto& t : l0_) tables.push_back(t.reader.get());
+  std::vector<std::vector<SstableReader::Entry>> extracted(tables.size());
+  std::vector<Status> extract_status(tables.size(), Status::Ok());
+  auto extract = [&](size_t i) {
+    extract_status[i] =
+        tables[i]->ForEach([&](const SstableReader::Entry& e) {
+          extracted[i].push_back(e);
+          return true;
+        });
+  };
+  const uint64_t wall_before = PoolWallUs();
+  if (options_.pool != nullptr) {
+    options_.pool->ParallelFor(tables.size(), extract);
+  } else {
+    for (size_t i = 0; i < tables.size(); ++i) extract(i);
+  }
+  RecordPoolWall(runtime_compact_wall_us_, wall_before);
+  if (runtime_compact_tasks_ != nullptr) {
+    runtime_compact_tasks_->Add(tables.size());
+  }
+  for (const Status& s : extract_status) PORYGON_RETURN_IF_ERROR(s);
+
   // Merge newest-wins across all tables; a full compaction may drop
   // tombstones because nothing older remains underneath.
   std::map<Bytes, std::pair<uint64_t, std::pair<ValueType, Bytes>>> merged;
-  auto consider = [&](const SstableReader::Entry& e) {
-    auto it = merged.find(e.key);
-    if (it == merged.end() || it->second.first < e.sequence) {
-      merged[e.key] = {e.sequence, {e.type, e.value}};
+  for (const auto& entries : extracted) {
+    for (const SstableReader::Entry& e : entries) {
+      auto it = merged.find(e.key);
+      if (it == merged.end() || it->second.first < e.sequence) {
+        merged[e.key] = {e.sequence, {e.type, e.value}};
+      }
     }
-    return true;
-  };
-  if (l1_) PORYGON_RETURN_IF_ERROR(l1_->reader->ForEach(consider));
-  for (const auto& t : l0_) PORYGON_RETURN_IF_ERROR(t.reader->ForEach(consider));
+  }
 
   uint64_t number = next_table_number_++;
   SstableBuilder builder(env_, TablePath(number));
+  builder.set_pool(options_.pool);
   for (const auto& [key, versioned] : merged) {
     if (versioned.second.first == ValueType::kDeletion) continue;
     PORYGON_RETURN_IF_ERROR(builder.Add(key, versioned.first,
                                         ValueType::kValue,
                                         versioned.second.second));
   }
+  const uint64_t bloom_wall_before = PoolWallUs();
   PORYGON_RETURN_IF_ERROR(builder.Finish());
+  RecordPoolWall(runtime_bloom_wall_us_, bloom_wall_before);
+  if (runtime_bloom_tasks_ != nullptr) {
+    runtime_bloom_tasks_->Add(
+        BloomFilterBuilder::PartitionCount(builder.entries_added()));
+  }
 
   std::vector<uint64_t> obsolete;
   for (const auto& t : l0_) obsolete.push_back(t.number);

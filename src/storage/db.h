@@ -15,6 +15,10 @@
 #include "storage/sstable.h"
 #include "storage/wal.h"
 
+namespace porygon::runtime {
+class TaskPool;
+}  // namespace porygon::runtime
+
 namespace porygon::storage {
 
 struct DbOptions {
@@ -29,6 +33,11 @@ struct DbOptions {
   /// metrics_node} label so multiple Db instances stay distinguishable.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metrics_node;
+  /// Optional compute pool: SSTable compaction extraction and bloom-filter
+  /// builds fan out on it at the sim-time of the triggering event. All
+  /// on-disk bytes are identical with or without a pool (and for any thread
+  /// count) — see src/runtime/task_pool.h for the determinism contract.
+  runtime::TaskPool* pool = nullptr;
 };
 
 /// Embedded LSM key/value store: the per-storage-node database that replaces
@@ -103,6 +112,11 @@ class Db {
   void AttachTableMetrics(SstableReader* reader) const;
   void UpdateTableGauge();
 
+  // Volatile wall-clock accounting around pool fan-outs (no-ops without a
+  // pool or registry).
+  uint64_t PoolWallUs() const;
+  void RecordPoolWall(obs::Gauge* gauge, uint64_t wall_before) const;
+
   Status Recover();
   Status FlushLocked();
   Status MaybeCompact();
@@ -143,6 +157,12 @@ class Db {
   obs::Counter* bloom_checks_ = nullptr;
   obs::Counter* bloom_negatives_ = nullptr;
   obs::Gauge* l0_gauge_ = nullptr;
+  // Pool instrumentation: deterministic task counts per phase, plus the
+  // volatile (never-exported) per-phase wall-clock gauges.
+  obs::Counter* runtime_compact_tasks_ = nullptr;
+  obs::Counter* runtime_bloom_tasks_ = nullptr;
+  obs::Gauge* runtime_compact_wall_us_ = nullptr;
+  obs::Gauge* runtime_bloom_wall_us_ = nullptr;
 };
 
 }  // namespace porygon::storage

@@ -41,6 +41,10 @@ class SstableBuilder {
   /// Writes index/bloom/footer and closes the file.
   Status Finish();
 
+  /// Fans the bloom-filter build inside Finish() out on `pool` (nullptr =
+  /// serial; output bytes are identical either way).
+  void set_pool(runtime::TaskPool* pool) { bloom_.set_pool(pool); }
+
   size_t entries_added() const { return entry_count_; }
   uint64_t file_size() const { return offset_; }
 

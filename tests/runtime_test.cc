@@ -1,0 +1,253 @@
+// Deterministic parallel compute runtime: TaskPool semantics, batch crypto
+// verification, and the headline invariant — a simulation produces
+// byte-identical exports and the same final state root for any worker
+// thread count (PORYGON_THREADS ∈ {0, 1, 4}).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "crypto/provider.h"
+#include "net/network.h"
+#include "runtime/task_pool.h"
+
+namespace porygon {
+namespace {
+
+// --- TaskPool ---------------------------------------------------------------
+
+TEST(TaskPoolTest, SerialFallbackRunsEveryIndexInOrder) {
+  runtime::TaskPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pool.tasks_run(), 5u);
+}
+
+TEST(TaskPoolTest, ParallelRunsEveryIndexExactlyOnce) {
+  runtime::TaskPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  EXPECT_EQ(pool.tasks_run(), kN);
+}
+
+TEST(TaskPoolTest, ReusableAcrossBatches) {
+  runtime::TaskPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> out(17, 0);
+    pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+  EXPECT_EQ(pool.tasks_run(), 50u * 17u);
+}
+
+TEST(TaskPoolTest, EmptyBatchIsANoOp) {
+  runtime::TaskPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "body must not run"; });
+  EXPECT_EQ(pool.tasks_run(), 0u);
+}
+
+TEST(TaskPoolTest, ParallelMapMergesInIndexOrder) {
+  for (int threads : {0, 3}) {
+    runtime::TaskPool pool(threads);
+    std::vector<int> out = runtime::ParallelMap<int>(
+        &pool, 64, [](size_t i) { return static_cast<int>(i) * 7; });
+    ASSERT_EQ(out.size(), 64u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) * 7);
+    }
+  }
+  // A null pool means "serial on the caller" too.
+  std::vector<int> out =
+      runtime::ParallelMap<int>(nullptr, 3, [](size_t i) { return (int)i; });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskPoolTest, ResolveThreadsPrefersEnvOverRequested) {
+  unsetenv("PORYGON_THREADS");
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(3), 3);
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(-2), 0);
+
+  setenv("PORYGON_THREADS", "7", 1);
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(3), 7);
+  setenv("PORYGON_THREADS", "0", 1);
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(3), 0);
+  // Garbage and out-of-range values fall back to the requested count.
+  setenv("PORYGON_THREADS", "lots", 1);
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(3), 3);
+  setenv("PORYGON_THREADS", "-1", 1);
+  EXPECT_EQ(runtime::TaskPool::ResolveThreads(3), 3);
+  unsetenv("PORYGON_THREADS");
+}
+
+// --- Batch crypto verification ----------------------------------------------
+
+TEST(VerifyBatchTest, MatchesSerialVerifyIncludingFailures) {
+  for (int threads : {0, 4}) {
+    crypto::FastProvider provider;
+    runtime::TaskPool pool(threads);
+    provider.SetTaskPool(&pool);
+
+    Rng rng(42);
+    std::vector<crypto::KeyPair> keys;
+    for (int i = 0; i < 8; ++i) keys.push_back(provider.GenerateKeyPair(&rng));
+
+    std::vector<crypto::CryptoProvider::VerifyJob> jobs;
+    std::vector<uint8_t> expected;
+    for (int i = 0; i < 8; ++i) {
+      Bytes msg = ToBytes("message " + std::to_string(i));
+      crypto::Signature sig =
+          provider.Sign(keys[i].private_key, ByteView(msg));
+      if (i % 3 == 1) sig[0] ^= 0xff;  // Corrupt every third signature.
+      jobs.push_back({keys[i].public_key, msg, sig});
+      expected.push_back(i % 3 == 1 ? 0 : 1);
+    }
+    EXPECT_EQ(provider.VerifyBatch(jobs), expected) << threads << " threads";
+    EXPECT_TRUE(provider.VerifyBatch({}).empty());
+  }
+}
+
+TEST(VerifyBatchTest, ProofBatchMatchesSerialVerifyProof) {
+  for (int threads : {0, 4}) {
+    crypto::FastProvider provider;
+    runtime::TaskPool pool(threads);
+    provider.SetTaskPool(&pool);
+
+    Rng rng(7);
+    std::vector<crypto::CryptoProvider::ProofVerifyJob> jobs;
+    std::vector<uint8_t> expected;
+    for (int i = 0; i < 6; ++i) {
+      crypto::KeyPair kp = provider.GenerateKeyPair(&rng);
+      Bytes input = ToBytes("round " + std::to_string(i));
+      crypto::VrfProof proof =
+          provider.Prove(kp.private_key, ByteView(input));
+      if (i == 2) proof.output[0] ^= 0x01;  // Tampered output.
+      jobs.push_back({kp.public_key, input, proof});
+      expected.push_back(i == 2 ? 0 : 1);
+    }
+    EXPECT_EQ(provider.VerifyProofBatch(jobs), expected)
+        << threads << " threads";
+  }
+}
+
+// --- TrafficStats sorted export views ---------------------------------------
+
+TEST(TrafficStatsTest, SortedViewsAreKeyOrderedRegardlessOfInsertion) {
+  net::TrafficStats stats;
+  for (uint16_t kind : {900, 3, 77, 14, 500, 1}) {
+    stats.sent_by_kind[kind] = kind * 10u;
+    stats.received_by_kind[kind] = kind + 1u;
+  }
+  const auto sent = stats.SortedSentByKind();
+  const auto received = stats.SortedReceivedByKind();
+  const std::vector<uint16_t> want_keys{1, 3, 14, 77, 500, 900};
+  ASSERT_EQ(sent.size(), want_keys.size());
+  ASSERT_EQ(received.size(), want_keys.size());
+  for (size_t i = 0; i < want_keys.size(); ++i) {
+    EXPECT_EQ(sent[i].first, want_keys[i]);
+    EXPECT_EQ(sent[i].second, want_keys[i] * 10u);
+    EXPECT_EQ(received[i].first, want_keys[i]);
+    EXPECT_EQ(received[i].second, want_keys[i] + 1u);
+  }
+}
+
+// --- Thread-count invariance (the tentpole's acceptance test) ---------------
+
+namespace invariance {
+
+struct RunArtifacts {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+  crypto::Hash256 global_root{};
+  double sim_seconds = 0;
+};
+
+RunArtifacts RunScenario(int worker_threads) {
+  // fig8c-style open workload: mixed intra- and cross-shard transfers over
+  // a 2-shard deployment, tracing enabled.
+  core::SystemOptions opt;
+  opt.params.shard_bits = 1;
+  opt.params.witness_threshold = 2;
+  opt.params.execution_threshold = 2;
+  opt.params.block_tx_limit = 50;
+  opt.params.storage_connections = 2;
+  opt.num_storage_nodes = 2;
+  opt.num_stateless_nodes = 26;
+  opt.oc_size = 4;
+  opt.blocks_per_shard_round = 2;
+  opt.seed = 33;
+  opt.trace.enabled = true;
+  opt.trace.sample_transactions = 8;
+  opt.worker_threads = worker_threads;
+
+  core::PorygonSystem sys(opt);
+  sys.CreateAccounts(60, 10'000);
+  Rng rng(99);
+  std::map<uint64_t, uint64_t> nonces;
+  for (int i = 0; i < 80; ++i) {
+    uint64_t from = 1 + rng.NextBelow(60);
+    uint64_t to = 1 + rng.NextBelow(60);
+    if (from == to) continue;
+    tx::Transaction t;
+    t.from = from;
+    t.to = to;
+    t.amount = 1;
+    t.nonce = nonces[from];
+    if (sys.SubmitTransaction(t).ok()) ++nonces[from];
+  }
+  sys.Run(10);
+
+  RunArtifacts out;
+  out.metrics_json = sys.metrics().ToJson();
+  out.metrics_csv = sys.metrics().ToCsv();
+  out.trace_json = sys.tracer()->ExportChromeJson();
+  out.global_root = sys.canonical_state().GlobalRoot();
+  out.sim_seconds = sys.sim_seconds();
+  return out;
+}
+
+TEST(ThreadInvarianceTest, ExportsAreByteIdenticalForAnyThreadCount) {
+  unsetenv("PORYGON_THREADS");  // Options drive the thread count below.
+  const RunArtifacts serial = RunScenario(0);
+  ASSERT_FALSE(serial.metrics_json.empty());
+  ASSERT_FALSE(serial.trace_json.empty());
+  // The runtime phases must show up in the (deterministic) export.
+  EXPECT_NE(serial.metrics_json.find("runtime.tasks"), std::string::npos);
+  // Volatile wall-clock gauges must NOT leak into exports.
+  EXPECT_EQ(serial.metrics_json.find("runtime.wall_us"), std::string::npos);
+  EXPECT_EQ(serial.metrics_csv.find("runtime.wall_us"), std::string::npos);
+
+  for (int threads : {1, 4}) {
+    const RunArtifacts run = RunScenario(threads);
+    EXPECT_EQ(run.metrics_json, serial.metrics_json) << threads << " threads";
+    EXPECT_EQ(run.metrics_csv, serial.metrics_csv) << threads << " threads";
+    EXPECT_EQ(run.trace_json, serial.trace_json) << threads << " threads";
+    EXPECT_EQ(run.global_root, serial.global_root) << threads << " threads";
+    EXPECT_EQ(run.sim_seconds, serial.sim_seconds) << threads << " threads";
+  }
+}
+
+TEST(ThreadInvarianceTest, EnvVariableOverridesConfiguredThreads) {
+  unsetenv("PORYGON_THREADS");
+  const RunArtifacts serial = RunScenario(0);
+  setenv("PORYGON_THREADS", "4", 1);
+  const RunArtifacts env_run = RunScenario(0);
+  unsetenv("PORYGON_THREADS");
+  EXPECT_EQ(env_run.metrics_json, serial.metrics_json);
+  EXPECT_EQ(env_run.global_root, serial.global_root);
+}
+
+}  // namespace invariance
+
+}  // namespace
+}  // namespace porygon
