@@ -132,10 +132,15 @@ class WallTimer {
 };
 
 /// Host-side run provenance stamped next to a metrics export: how long the
-/// run took in real time and how many pool worker threads it used.
+/// run took in real time, how many pool worker threads it used, and — when
+/// the run was adversarial — the canonical `--adversary=` spec plus the
+/// evidence count honest nodes collected (so an archived JSON names the
+/// attack it survived).
 struct BenchStamp {
   double wall_ms = 0;
   int worker_threads = 0;
+  std::string adversary_spec;
+  uint64_t adversary_evidence = 0;
 };
 
 /// Dumps the system's full metrics registry as JSON to `path` (stdout on
@@ -151,11 +156,21 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
   if (f == nullptr) return false;
   std::string json = sys.metrics().ToJson();
   if (stamp != nullptr) {
-    char head[128];
-    std::snprintf(head, sizeof(head),
-                  "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n"
-                  "\"metrics\":",
-                  stamp->wall_ms, stamp->worker_threads);
+    char head[256];
+    if (stamp->adversary_spec.empty()) {
+      std::snprintf(head, sizeof(head),
+                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n"
+                    "\"metrics\":",
+                    stamp->wall_ms, stamp->worker_threads);
+    } else {
+      std::snprintf(head, sizeof(head),
+                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d,"
+                    "\"adversary\":\"%s\",\"evidence\":%llu},\n"
+                    "\"metrics\":",
+                    stamp->wall_ms, stamp->worker_threads,
+                    stamp->adversary_spec.c_str(),
+                    static_cast<unsigned long long>(stamp->adversary_evidence));
+    }
     json = std::string(head) + json + "}";
   }
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
@@ -184,6 +199,14 @@ inline std::string TraceOutArg(int argc, char** argv) {
 /// "loss:0.02,jitter:300,crash:0:6,recover:0:20".
 inline std::string FaultsArg(int argc, char** argv) {
   return FlagValueArg(argc, argv, "--faults=");
+}
+
+/// Parses `--adversary=<spec>` from argv; empty string when absent. The
+/// spec grammar is core::AdversarySpec::Parse's comma-separated clause
+/// list, e.g. "stateless:equivocate,alpha:0.25" or
+/// "storage:tamper-state,beta:0.5,seed:9".
+inline std::string AdversaryArg(int argc, char** argv) {
+  return FlagValueArg(argc, argv, "--adversary=");
 }
 
 /// Dumps the system's span buffer as Chrome trace_event JSON to `path` —

@@ -25,9 +25,22 @@ int main(int argc, char** argv) {
   const int shard_bits = 3;  // 8 shards.
   const int rounds = 8;
   const std::string trace_path = bench::TraceOutArg(argc, argv);
+  const std::string adversary_spec = bench::AdversaryArg(argc, argv);
+  core::AdversarySpec adversary;
+  if (!adversary_spec.empty()) {
+    Result<core::AdversarySpec> parsed =
+        core::AdversarySpec::Parse(adversary_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --adversary spec: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    adversary = *parsed;
+    std::printf("  (adversary: %s)\n", adversary.ToString().c_str());
+  }
   std::string metrics_path = "fig8c.metrics.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--trace-out=", 0) != 0) {
+    if (std::string(argv[i]).rfind("--", 0) != 0) {
       metrics_path = argv[i];
       break;
     }
@@ -46,6 +59,7 @@ int main(int argc, char** argv) {
     opt.blocks_per_shard_round = 2;
     opt.seed = 33;
     opt.trace.enabled = last && !trace_path.empty();
+    opt.adversary = adversary;
     core::PorygonSystem sys(opt);
     sys.CreateAccounts(1'000'000, 1'000'000);
     workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
@@ -58,7 +72,13 @@ int main(int argc, char** argv) {
     const double wall_ms = timer.ElapsedMs();
     bench::PrintRow({"Porygon", bench::FmtInt(offered), bench::FmtInt(r.tps),
                      bench::Fmt(r.user_latency_s)});
-    bench::BenchStamp stamp{wall_ms, sys.task_pool()->thread_count()};
+    bench::BenchStamp stamp;
+    stamp.wall_ms = wall_ms;
+    stamp.worker_threads = sys.task_pool()->thread_count();
+    if (!adversary.empty()) {
+      stamp.adversary_spec = adversary.ToString();
+      stamp.adversary_evidence = sys.adversary()->evidence();
+    }
     if (last && bench::WriteMetricsJson(sys, metrics_path, &stamp)) {
       std::printf("  (metrics export: %s)\n", metrics_path.c_str());
     }

@@ -5,6 +5,7 @@
 //   ./example_quickstart
 //   ./example_quickstart --trace-out=quickstart.trace.json
 //   ./example_quickstart --faults=loss:0.02,jitter:300,crash:0:6,recover:0:20
+//   ./example_quickstart --adversary=stateless:equivocate,alpha:0.25
 //
 // The second form records sim-time lifecycle spans for the submitted
 // transactions and writes Chrome trace_event JSON — open the file at
@@ -18,6 +19,13 @@
 // nodes occupy the lowest node ids, so "crash:0:6" kills every stateless
 // node's initial primary storage six sim-seconds in — watch the chain
 // keep growing through the failover.
+//
+// The fourth form corrupts a fraction of the nodes with an *active*
+// Byzantine strategy (grammar in core::AdversarySpec::Parse) instead of
+// crash faults: equivocating voters, forged witness proofs, tampered
+// execution results, censoring or tampering storage. Honest nodes detect
+// and reject the forgeries (core.rejected{reason} counters, equivocation
+// evidence) and commit the same chain a clean run of the seed commits.
 
 #include <cstdio>
 #include <string>
@@ -31,6 +39,7 @@ int main(int argc, char** argv) {
 
   const std::string trace_path = bench::TraceOutArg(argc, argv);
   const std::string fault_spec = bench::FaultsArg(argc, argv);
+  const std::string adversary_spec = bench::AdversaryArg(argc, argv);
 
   // 1. Configure a small deployment. Thresholds are scaled down to the
   // committee sizes a 26-node network can form.
@@ -44,6 +53,28 @@ int main(int argc, char** argv) {
   options.oc_size = 4;
   options.seed = 7;
   options.trace.enabled = !trace_path.empty();
+
+  if (!adversary_spec.empty()) {
+    Result<core::AdversarySpec> spec =
+        core::AdversarySpec::Parse(adversary_spec);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --adversary spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 2;
+    }
+    Status valid_with = [&] {
+      core::SystemOptions probe = options;
+      probe.adversary = *spec;
+      return probe.Validate();
+    }();
+    if (!valid_with.ok()) {
+      std::fprintf(stderr, "bad --adversary spec: %s\n",
+                   valid_with.ToString().c_str());
+      return 2;
+    }
+    options.adversary = *spec;
+    std::printf("adversary:    %s\n", options.adversary.ToString().c_str());
+  }
 
   core::PorygonSystem system(options);
 
@@ -118,6 +149,15 @@ int main(int argc, char** argv) {
                 counter("core.failover.retransmits"));
     std::printf("storage rejoins:         %lu\n",
                 counter("core.storage_rejoins"));
+  }
+
+  if (!adversary_spec.empty()) {
+    std::printf("adversarial actions:     %lu\n",
+                static_cast<unsigned long>(system.adversary()->actions()));
+    std::printf("misbehavior evidence:    %lu\n",
+                static_cast<unsigned long>(system.adversary()->evidence()));
+    std::printf("equivocation records:    %zu\n",
+                system.equivocation_evidence().size());
   }
 
   const state::ShardedState& st = system.canonical_state();

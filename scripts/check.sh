@@ -22,6 +22,9 @@ run_suite() {
   # Fault suite, called out explicitly: crash/recover failover, censorship,
   # and same-seed determinism under an active FaultPlan must never rot.
   ctest --test-dir "$dir" -R FaultInjection --output-on-failure
+  # Adversary suite, likewise: chain identity and evidence collection under
+  # every Byzantine strategy at the paper's alpha/beta bounds.
+  ctest --test-dir "$dir" -R Adversary --output-on-failure
 }
 
 echo "== plain build + ctest =="
@@ -43,7 +46,7 @@ if [[ "${PORYGON_SKIP_SANITIZERS:-0}" != "1" ]]; then
   PORYGON_THREADS=4 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db'
+      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db|Adversary'
 fi
 
 echo "check.sh: all suites passed"

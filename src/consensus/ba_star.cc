@@ -146,9 +146,15 @@ void BaStar::OnVotes(const std::vector<Vote>& votes) {
 }
 
 void BaStar::Count(const Vote& vote) {
-  // First vote per (voter, step, kind) wins: equivocation is inert.
+  // First vote per (voter, step, kind) wins: equivocation is inert for
+  // the tally. But a *conflicting* second vote passed the same signature
+  // and membership checks as the first, so the pair is attributable
+  // misbehavior — record it as evidence before discarding.
   auto& seen = voted_[{vote.step, vote.kind}];
-  if (!seen.insert(vote.voter).second) return;
+  if (!seen.insert(vote.voter).second) {
+    RecordEquivocation(vote);
+    return;
+  }
 
   Key key{vote.step, vote.kind, vote.value};
   auto& supporters = tally_[key];
@@ -177,6 +183,35 @@ void BaStar::Count(const Vote& vote) {
     cert.votes = vote_store_[key];
     on_decision_(cert);
   }
+}
+
+void BaStar::RecordEquivocation(const Vote& second) {
+  // Look up the vote that won (same voter, step, kind). A same-value
+  // duplicate — e.g. our own broadcast echoed back through a relay — is
+  // benign and produces no evidence.
+  const Vote* first = nullptr;
+  for (const auto& [key, votes] : vote_store_) {
+    if (key.step != second.step || key.kind != second.kind) continue;
+    for (const Vote& v : votes) {
+      if (v.voter == second.voter) {
+        first = &v;
+        break;
+      }
+    }
+    if (first != nullptr) break;
+  }
+  if (first == nullptr || first->value == second.value) return;
+  if (!evidenced_.emplace(second.step, second.kind, second.voter).second) {
+    return;
+  }
+  EquivocationEvidence ev;
+  ev.instance = instance_;
+  ev.step = second.step;
+  ev.kind = second.kind;
+  ev.first = *first;
+  ev.second = second;
+  evidence_.push_back(ev);
+  if (evidence_sink_) evidence_sink_(evidence_.back());
 }
 
 void BaStar::OnTimeout() {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "common/bytes.h"
@@ -38,6 +39,19 @@ struct Vote {
   Bytes SigningBytes() const;
 };
 
+/// Attributable proof that one committee member cast two conflicting
+/// votes for the same (instance, step, kind). Both votes carry valid
+/// signatures over different values, so the pair is self-certifying:
+/// anyone holding the committee membership can verify the misbehavior
+/// without trusting the reporter.
+struct EquivocationEvidence {
+  uint64_t instance = 0;
+  uint32_t step = 0;
+  uint8_t kind = 0;
+  Vote first;   ///< The vote that was counted (first-vote-wins).
+  Vote second;  ///< The conflicting vote that was rejected.
+};
+
 /// A decision certificate: the cert votes that crossed the threshold.
 /// Anyone can verify it against the committee membership — this is what
 /// lets messages "be verified ... even if the lifecycle of this committee
@@ -59,11 +73,15 @@ struct DecisionCert {
 /// once the network stabilizes (honest-majority assumption per Lemma 1).
 ///
 /// Votes are verified (signature + membership) before counting; equivocating
-/// voters have only their first vote per (step, kind) counted.
+/// voters have only their first vote per (step, kind) counted, and the
+/// conflicting pair is recorded as EquivocationEvidence (first-vote-wins
+/// *plus evidence*): both votes passed signature + membership checks, so
+/// a conflicting second value is attributable misbehavior, not noise.
 class BaStar {
  public:
   using VoteBroadcast = std::function<void(const Vote&)>;
   using Decision = std::function<void(const DecisionCert&)>;
+  using EvidenceSink = std::function<void(const EquivocationEvidence&)>;
 
   BaStar(crypto::CryptoProvider* provider, crypto::KeyPair identity,
          std::vector<crypto::PublicKey> committee, VoteBroadcast broadcast,
@@ -114,6 +132,15 @@ class BaStar {
     return raw > backoff_cap_us_ ? backoff_cap_us_ : raw;
   }
 
+  /// Called once per newly detected equivocation (deduped per voter,
+  /// step, kind). Evidence also accumulates in `evidence()` regardless.
+  void set_evidence_sink(EvidenceSink sink) { evidence_sink_ = std::move(sink); }
+
+  /// Equivocation evidence collected by this instance, in detection order.
+  const std::vector<EquivocationEvidence>& evidence() const {
+    return evidence_;
+  }
+
   /// Starts the instance by soft-voting `proposal` at step 0.
   void Propose(uint64_t instance, const crypto::Hash256& proposal);
 
@@ -139,6 +166,7 @@ class BaStar {
  private:
   void CastVote(uint8_t kind, const crypto::Hash256& value);
   void Count(const Vote& vote);
+  void RecordEquivocation(const Vote& second);
   bool IsMember(const crypto::PublicKey& key) const;
 
   crypto::CryptoProvider* provider_;
@@ -172,6 +200,12 @@ class BaStar {
   std::map<Key, std::set<crypto::PublicKey>> tally_;
   std::map<std::pair<uint32_t, uint8_t>, std::set<crypto::PublicKey>> voted_;
   std::map<Key, std::vector<Vote>> vote_store_;  // For certificates.
+
+  EvidenceSink evidence_sink_;
+  std::vector<EquivocationEvidence> evidence_;
+  // One evidence record per (voter, step, kind): re-broadcasts of the
+  // same conflicting vote do not re-report.
+  std::set<std::tuple<uint32_t, uint8_t, crypto::PublicKey>> evidenced_;
 };
 
 }  // namespace porygon::consensus

@@ -1,0 +1,264 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace porygon::core {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool StatelessStrategyFromName(const std::string& name, AdvStrategy* out) {
+  if (name == "silent") *out = AdvStrategy::kSilent;
+  else if (name == "equivocate") *out = AdvStrategy::kEquivocate;
+  else if (name == "forge-witness") *out = AdvStrategy::kForgeWitness;
+  else if (name == "tamper-exec") *out = AdvStrategy::kTamperExec;
+  else return false;
+  return true;
+}
+
+bool StorageStrategyFromName(const std::string& name, AdvStrategy* out) {
+  if (name == "withhold") *out = AdvStrategy::kWithhold;
+  else if (name == "censor") *out = AdvStrategy::kCensor;
+  else if (name == "tamper-state") *out = AdvStrategy::kTamperState;
+  else if (name == "stale-reply") *out = AdvStrategy::kStaleReply;
+  else return false;
+  return true;
+}
+
+std::string FormatFraction(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* AdvStrategyName(AdvStrategy s) {
+  switch (s) {
+    case AdvStrategy::kHonest: return "honest";
+    case AdvStrategy::kSilent: return "silent";
+    case AdvStrategy::kEquivocate: return "equivocate";
+    case AdvStrategy::kForgeWitness: return "forge-witness";
+    case AdvStrategy::kTamperExec: return "tamper-exec";
+    case AdvStrategy::kWithhold: return "withhold";
+    case AdvStrategy::kCensor: return "censor";
+    case AdvStrategy::kTamperState: return "tamper-state";
+    case AdvStrategy::kStaleReply: return "stale-reply";
+  }
+  return "honest";
+}
+
+bool IsStatelessStrategy(AdvStrategy s) {
+  return s == AdvStrategy::kSilent || s == AdvStrategy::kEquivocate ||
+         s == AdvStrategy::kForgeWitness || s == AdvStrategy::kTamperExec;
+}
+
+bool IsStorageStrategy(AdvStrategy s) {
+  return s == AdvStrategy::kWithhold || s == AdvStrategy::kCensor ||
+         s == AdvStrategy::kTamperState || s == AdvStrategy::kStaleReply;
+}
+
+Result<AdversarySpec> AdversarySpec::Parse(const std::string& spec) {
+  AdversarySpec out;
+  bool have_alpha = false;
+  bool have_beta = false;
+  for (const std::string& clause : SplitOn(spec, ',')) {
+    if (clause.empty()) continue;
+    std::vector<std::string> f = SplitOn(clause, ':');
+    const std::string& key = f[0];
+    auto bad = [&] {
+      return Status::InvalidArgument("bad adversary clause: " + clause);
+    };
+    if (key == "stateless" && f.size() == 2) {
+      if (!StatelessStrategyFromName(f[1], &out.stateless)) return bad();
+    } else if (key == "storage" && f.size() == 2) {
+      if (!StorageStrategyFromName(f[1], &out.storage)) return bad();
+    } else if (key == "alpha" && f.size() == 2) {
+      if (!ParseDouble(f[1], &out.alpha) || out.alpha < 0 || out.alpha > 1) {
+        return bad();
+      }
+      have_alpha = true;
+    } else if (key == "beta" && f.size() == 2) {
+      if (!ParseDouble(f[1], &out.beta) || out.beta < 0 || out.beta > 1) {
+        return bad();
+      }
+      have_beta = true;
+    } else if (key == "seed" && f.size() == 2) {
+      if (!ParseU64(f[1], &out.seed)) return bad();
+    } else {
+      return bad();
+    }
+  }
+  // A strategy clause without an explicit fraction runs at the paper's
+  // corruption bound (§III-B): α = 1/4, β = 1/2.
+  if (out.stateless != AdvStrategy::kHonest && !have_alpha) out.alpha = 0.25;
+  if (out.storage != AdvStrategy::kHonest && !have_beta) out.beta = 0.5;
+  return out;
+}
+
+std::string AdversarySpec::ToString() const {
+  std::string s;
+  auto append = [&s](const std::string& clause) {
+    if (!s.empty()) s += ',';
+    s += clause;
+  };
+  if (stateless != AdvStrategy::kHonest) {
+    append(std::string("stateless:") + AdvStrategyName(stateless));
+    append("alpha:" + FormatFraction(alpha));
+  }
+  if (storage != AdvStrategy::kHonest) {
+    append(std::string("storage:") + AdvStrategyName(storage));
+    append("beta:" + FormatFraction(beta));
+  }
+  append("seed:" + std::to_string(seed));
+  return s;
+}
+
+AdversaryController::AdversaryController(AdversarySpec spec,
+                                         obs::MetricsRegistry* registry,
+                                         obs::Tracer* tracer)
+    : spec_(spec), tracer_(tracer) {
+  if (registry == nullptr) return;
+  // Evidence counters are registered unconditionally: the detection
+  // paths are always on, and a clean run exporting zeros is itself a
+  // meaningful statement.
+  evidence_equivocation_ =
+      registry->GetCounter("adversary.evidence", {{"type", "equivocation"}});
+  evidence_divergent_exec_ = registry->GetCounter(
+      "adversary.evidence", {{"type", "divergent_exec_result"}});
+  if (spec_.stateless != AdvStrategy::kHonest) {
+    stateless_actions_ = registry->GetCounter(
+        "adversary.actions", {{"strategy", AdvStrategyName(spec_.stateless)}});
+  }
+  if (spec_.storage != AdvStrategy::kHonest) {
+    storage_actions_ = registry->GetCounter(
+        "adversary.actions", {{"strategy", AdvStrategyName(spec_.storage)}});
+  }
+}
+
+std::vector<AdvStrategy> AdversaryController::PlaceStorage(int count) const {
+  std::vector<AdvStrategy> out(static_cast<size_t>(count),
+                               AdvStrategy::kHonest);
+  if (spec_.storage == AdvStrategy::kHonest) return out;
+  // Lowest indices first: storage 0 is every stateless node's initial
+  // primary, so this is the most damaging placement of the budget.
+  int corrupted = static_cast<int>(static_cast<double>(count) * spec_.beta);
+  for (int i = 0; i < corrupted && i < count; ++i) out[i] = spec_.storage;
+  return out;
+}
+
+std::vector<AdvStrategy> AdversaryController::PlaceStateless(
+    const std::vector<int>& order, int oc_size, int leader_idx) const {
+  std::vector<AdvStrategy> out(order.size(), AdvStrategy::kHonest);
+  if (spec_.stateless == AdvStrategy::kHonest || order.empty()) return out;
+  const int budget =
+      static_cast<int>(static_cast<double>(order.size()) * spec_.alpha);
+  // The OC gets its proportional share of the corruption budget first —
+  // that is where equivocation and tampered-result attacks bite. The
+  // leader is exempt so the honest proposal stream (and thus the chain)
+  // is byte-comparable against the adversary-free run.
+  const int oc_budget = std::min(
+      budget, static_cast<int>(static_cast<double>(oc_size) * spec_.alpha));
+  int placed = 0;
+  for (int i = 0; i < oc_size && i < static_cast<int>(order.size()) &&
+                  placed < oc_budget;
+       ++i) {
+    if (order[i] == leader_idx) continue;
+    out[static_cast<size_t>(order[i])] = spec_.stateless;
+    ++placed;
+  }
+  // Remainder lands uniformly on non-OC nodes via the spec's private
+  // placement stream (partial Fisher-Yates) — independent of the system
+  // RNG, so enabling an adversary never re-deals protocol randomness.
+  std::vector<int> rest(order.begin() + std::min<size_t>(oc_size, order.size()),
+                        order.end());
+  Rng rng(spec_.seed ^ 0x5e1ec700u);
+  for (size_t i = 0; i < rest.size() && placed < budget; ++i) {
+    size_t j = i + rng.NextBelow(rest.size() - i);
+    std::swap(rest[i], rest[j]);
+    out[static_cast<size_t>(rest[i])] = spec_.stateless;
+    ++placed;
+  }
+  return out;
+}
+
+crypto::Hash256 AdversaryController::ForgedValue(const std::string& domain,
+                                                 uint64_t a, uint64_t b,
+                                                 uint64_t c) const {
+  // Pure hashing (no RNG): forged content computed inside message
+  // handlers must be invariant to worker-thread scheduling.
+  crypto::Sha256 h;
+  const std::string tag = "porygon.adversary." + domain;
+  h.Update(std::string_view(tag));
+  uint8_t buf[32];
+  const uint64_t words[4] = {a, b, c, spec_.seed};
+  for (int w = 0; w < 4; ++w) StoreLittleEndian64(buf + w * 8, words[w]);
+  h.Update(ByteView(buf, sizeof(buf)));
+  return h.Finish();
+}
+
+crypto::Signature AdversaryController::ForgedSignature(
+    const std::string& domain, uint64_t a, uint64_t b) const {
+  crypto::Hash256 lo = ForgedValue(domain, a, b, 0);
+  crypto::Hash256 hi = ForgedValue(domain, a, b, 1);
+  crypto::Signature sig;
+  std::memcpy(sig.data(), lo.data(), 32);
+  std::memcpy(sig.data() + 32, hi.data(), 32);
+  return sig;
+}
+
+void AdversaryController::NoteAction(AdvStrategy strategy, const char* what,
+                                     const std::string& node, bool trace) {
+  ++actions_;
+  obs::Counter* counter =
+      IsStorageStrategy(strategy) ? storage_actions_ : stateless_actions_;
+  if (counter != nullptr) counter->Increment();
+  if (trace && tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(tracer_->AdversaryContext(), what, node);
+  }
+}
+
+void AdversaryController::NoteEvidence(const char* type,
+                                       const std::string& node) {
+  ++evidence_;
+  obs::Counter* counter = std::strcmp(type, "equivocation") == 0
+                              ? evidence_equivocation_
+                              : evidence_divergent_exec_;
+  if (counter != nullptr) counter->Increment();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(tracer_->AdversaryContext(), type, node);
+  }
+}
+
+}  // namespace porygon::core

@@ -79,12 +79,27 @@ std::vector<std::vector<StateUpdate>> CrossShardCoordinator::BuildUpdateList(
     uint64_t round, const std::vector<std::vector<StateUpdate>>& s_sets,
     const std::vector<StateUpdate>& old_values) {
   std::vector<std::vector<StateUpdate>> per_shard(shard_count());
+  auto it = in_flight_.find(round);
+  // An S set may only touch accounts this batch locked at ordering time
+  // (honest cross-shard pre-execution writes exactly the accepted
+  // transactions' accounts). Anything else — including every update when
+  // no batch was locked at all — is a forged or replayed write aimed at
+  // the Multi-Shard Update path; drop it before it can reach a proposal.
+  // Defense in depth behind the exec-result vote threshold.
+  std::unordered_set<AccountId> locked;
+  if (it != in_flight_.end()) {
+    locked.insert(it->second.locked_accounts.begin(),
+                  it->second.locked_accounts.end());
+  }
   for (const auto& shard_set : s_sets) {
     for (const StateUpdate& u : shard_set) {
+      if (locked.count(u.account) == 0) {
+        if (rejected_unlocked_ != nullptr) rejected_unlocked_->Increment();
+        continue;
+      }
       per_shard[ShardOfAccount(u.account, shard_bits_)].push_back(u);
     }
   }
-  auto it = in_flight_.find(round);
   if (it != in_flight_.end()) {
     it->second.updates = per_shard;
     it->second.old_values = old_values;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "state/account.h"
 #include "tx/blocks.h"
@@ -41,6 +42,13 @@ class CrossShardCoordinator {
   void EnableTracing(obs::Tracer* tracer, std::string node) {
     tracer_ = tracer;
     trace_node_ = std::move(node);
+  }
+
+  /// Counter incremented for every S-set update dropped by BuildUpdateList
+  /// because its account was never locked by the batch (a forged or
+  /// replayed cross-shard write). Optional; null disables counting.
+  void set_rejected_counter(obs::Counter* counter) {
+    rejected_unlocked_ = counter;
   }
 
   struct FilterResult {
@@ -112,6 +120,7 @@ class CrossShardCoordinator {
 
   int shard_bits_;
   int retry_rounds_;
+  obs::Counter* rejected_unlocked_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   std::string trace_node_;
   /// account -> round of the batch locking it.

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cstring>
 
 #include "common/codec.h"
 #include "common/log.h"
@@ -34,13 +35,13 @@ StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
                                        net::NodeId net_id,
                                        crypto::KeyPair keys,
                                        std::vector<net::NodeId> storages,
-                                       bool malicious, bool in_oc)
+                                       AdvStrategy strategy, bool in_oc)
     : system_(system),
       index_(index),
       net_id_(net_id),
       keys_(std::move(keys)),
       storages_(std::move(storages)),
-      malicious_(malicious),
+      strategy_(strategy),
       in_oc_(in_oc) {
   heard_at_.assign(storages_.size(), 0);
   // Arm the round watchdog from birth: a node whose very first NewRound is
@@ -56,6 +57,8 @@ StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
         system_->params().shard_bits,
         system_->params().cross_shard_retry_rounds);
     coordinator_->EnableTracing(system_->tracer(), TraceName());
+    coordinator_->set_rejected_counter(
+        system_->obs_.rejected_unlocked_update);
   }
 }
 
@@ -307,7 +310,14 @@ void StatelessNodeActor::BroadcastToOc(uint16_t kind, const Bytes& payload,
 }
 
 void StatelessNodeActor::HandleMessage(const net::Message& msg) {
-  if (malicious_) return;  // Byzantine-silent model for stateless nodes.
+  if (strategy_ == AdvStrategy::kSilent) {
+    // The named `silent` strategy (the legacy Byzantine-silent model):
+    // every protocol message dies here unanswered. Counter-only — one
+    // trace instant per dropped message would flood the span buffer.
+    system_->adversary()->NoteAction(strategy_, "silent_drop", TraceName(),
+                                     /*trace=*/false);
+    return;
+  }
   NoteHeardFrom(msg.from);  // Any traffic counts as a liveness signal.
   if (!pending_reqs_.empty()) NoteEcho(msg);
   switch (msg.kind) {
@@ -344,7 +354,13 @@ void StatelessNodeActor::HandleMessage(const net::Message& msg) {
 
 void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
                                     uint64_t round) {
-  if (round <= current_round_) return;  // Stale.
+  if (round < current_round_) {
+    // Strictly behind our tip: a stale (or deliberately stale) reply —
+    // e.g. a stale-replying storage node answering a resync with genesis.
+    system_->obs_.rejected_stale_round->Increment();
+    return;
+  }
+  if (round == current_round_) return;  // Duplicate delivery.
   current_round_ = round;
   last_block_ = prev_block;
   prev_hash_ = prev_block.Hash();
@@ -465,6 +481,35 @@ void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
     system_->tracer()->Instant(msg.trace, "witness", TraceName());
   }
 
+  if (strategy_ == AdvStrategy::kForgeWitness) {
+    // Forged uploads instead of an honest proof: a garbage signature over
+    // the real block plus a proof for a block id that does not exist.
+    // Storage-side verification rejects both (core.rejected counters);
+    // Tw is still reached because the corrupted fraction is within α.
+    // The block stays held above so execution still works later.
+    AdversaryController* adv = system_->adversary();
+    adv->NoteAction(strategy_, "forge_witness", TraceName());
+    WitnessUpload bad;
+    bad.round = current_round_;
+    bad.shard = assignment_->shard;
+    bad.proof.block_id = block->header.Id();
+    bad.proof.witness = keys_.public_key;
+    bad.proof.signature =
+        adv->ForgedSignature("witness_sig", current_round_,
+                             static_cast<uint64_t>(index_));
+    SendToAllStorages(kMsgWitnessUpload, bad.Encode());
+    WitnessUpload ghost;
+    ghost.round = current_round_;
+    ghost.shard = assignment_->shard;
+    ghost.proof.block_id = adv->ForgedValue(
+        "ghost_block", current_round_, static_cast<uint64_t>(index_));
+    ghost.proof.witness = keys_.public_key;
+    ghost.proof.signature = system_->provider()->Sign(
+        keys_.private_key, ToBytes("porygon.ghost"));
+    SendToAllStorages(kMsgWitnessUpload, ghost.Encode());
+    return;
+  }
+
   tx::WitnessProof proof;
   proof.block_id = block->header.Id();
   proof.witness = keys_.public_key;
@@ -521,6 +566,7 @@ void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
   sreq.shard = exec_task_->request.shard;
   sreq.accounts.assign(accounts.begin(), accounts.end());
   exec_task_->state_requested = true;
+  exec_task_->state_accounts = sreq.accounts;
   SendToPrimary(kMsgStateRequest, sreq.Encode(), 0, msg.trace);
 }
 
@@ -538,8 +584,66 @@ void StatelessNodeActor::OnStateResponse(const net::Message& msg) {
   }
   if (!exec_task_.has_value()) return;
   if (resp->round != exec_task_->request.round) return;
+  if (system_->options().faithful_execution && !VerifyStateResponse(*resp)) {
+    // Storage-reply cross-check failed: some entry's value does not match
+    // its Merkle proof against the committed roots. Never execute on a
+    // tampered snapshot — count it, and re-request from the next
+    // connection (bounded by the connection count, so a β-fraction of
+    // tampering storage nodes is walked past within one exec phase).
+    system_->obs_.rejected_bad_state_proof->Increment();
+    obs::Tracer* tracer = system_->tracer();
+    if (tracer->enabled()) {
+      tracer->Instant(tracer->AdversaryContext(), "bad_state_proof",
+                      TraceName());
+    }
+    if (storages_.empty() ||
+        ++exec_task_->state_retries >= static_cast<int>(storages_.size())) {
+      return;  // Every connection answered dishonestly; give up this round.
+    }
+    StateRequest sreq;
+    sreq.round = exec_task_->request.round;
+    sreq.shard = exec_task_->request.shard;
+    sreq.accounts = exec_task_->state_accounts;
+    net::Message m;
+    m.from = net_id_;
+    m.to = storages_[(primary_idx_ + exec_task_->state_retries) %
+                     storages_.size()];
+    m.kind = kMsgStateRequest;
+    m.payload = sreq.Encode();
+    m.wire_size = m.payload.size();
+    system_->network()->Send(std::move(m));
+    return;
+  }
   exec_task_->state = std::move(*resp);
   RunExecution();
+}
+
+bool StatelessNodeActor::VerifyStateResponse(const StateResponse& resp) const {
+  const ExecRequest& req = exec_task_->request;
+  if (resp.proofs.size() < resp.entries.size()) return false;
+  // Throwaway PartialState: AddOwnAccount/AddForeignAccount fail iff the
+  // claimed (present, value) does not verify against the committed root
+  // for the account's shard — exactly the tamper check we need.
+  state::PartialState check(system_->params().shard_bits, req.shard,
+                            req.shard_root);
+  for (size_t i = 0; i < resp.entries.size(); ++i) {
+    const auto& e = resp.entries[i];
+    auto proof = state::MerkleProof::Decode(resp.proofs[i]);
+    if (!proof.ok()) return false;
+    const uint32_t shard_of =
+        state::ShardOfAccount(e.account, system_->params().shard_bits);
+    Status st;
+    if (shard_of == req.shard) {
+      st = check.AddOwnAccount(e.account, e.present, e.value, *proof);
+    } else if (shard_of < req.all_roots.size()) {
+      st = check.AddForeignAccount(e.account, e.present, e.value, *proof,
+                                   req.all_roots[shard_of]);
+    } else {
+      return false;
+    }
+    if (!st.ok()) return false;
+  }
+  return true;
 }
 
 void StatelessNodeActor::RunExecution() {
@@ -625,6 +729,16 @@ void StatelessNodeActor::RunExecution() {
     result.cross_pre_executed = r.cross_pre_executed;
   }
 
+  if (strategy_ == AdvStrategy::kTamperExec) {
+    // Report a forged post-state root. Index-salted so no two tamperers
+    // agree on the same wrong root — forged results can never gather the
+    // execution threshold, so the OC aggregates only the honest result.
+    result.new_root = system_->adversary()->ForgedValue(
+        "exec_root", req.round, req.shard, static_cast<uint64_t>(index_));
+    result.s_set.clear();
+    system_->adversary()->NoteAction(strategy_, "tamper_exec", TraceName());
+  }
+
   result.s_hash = ExecResultMsg::HashSSet(result.s_set);
   if (!result.full) result.s_set.clear();
   result.signer = keys_.public_key;
@@ -649,6 +763,11 @@ void StatelessNodeActor::OnWitnessBundle(const net::Message& msg) {
   if (!bundle.ok()) return;
   auto& merged = bundles_[bundle->batch_round];
   for (auto& block : bundle->blocks) {
+    if (block.header.shard >=
+        static_cast<uint32_t>(system_->params().shard_count())) {
+      system_->obs_.rejected_bad_shard->Increment();
+      continue;  // Out-of-range shard would index OOB downstream.
+    }
     std::string key = IdKey(block.header.Id());
     auto it = merged.find(key);
     if (it == merged.end()) {
@@ -675,6 +794,17 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
   if (!in_oc_) return;
   auto result = ExecResultMsg::Decode(msg.payload);
   if (!result.ok()) return;
+  if (result->shard >=
+      static_cast<uint32_t>(system_->params().shard_count())) {
+    system_->obs_.rejected_bad_shard->Increment();
+    return;
+  }
+  // Identity check before the (costlier) signature check: a result signed
+  // by a key outside the stateless-node registry is an outsider forgery.
+  if (system_->stateless_keys_.count(result->signer) == 0) {
+    system_->obs_.rejected_unknown_signer->Increment();
+    return;
+  }
   // Routed through the batch entry point so the pool covers exec-result
   // verification too (each message arrives as its own event, so batches are
   // singletons here; results match per-item Verify exactly).
@@ -683,6 +813,14 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
           ->VerifyBatch({{result->signer, result->SigningBytes(),
                           result->signature}})
           .front() == 0) {
+    system_->obs_.rejected_bad_exec_sig->Increment();
+    return;
+  }
+  // A full result whose S set does not hash to its own s_hash is
+  // internally inconsistent: drop it before it can vote.
+  if (result->full &&
+      ExecResultMsg::HashSSet(result->s_set) != result->s_hash) {
+    system_->obs_.rejected_s_hash_mismatch->Increment();
     return;
   }
   auto& pending =
@@ -700,10 +838,9 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
   std::string key(reinterpret_cast<const char*>(key_enc.buffer().data()),
                   key_enc.buffer().size());
   pending.result_votes[key] += 1;
-  if (result->full &&
-      ExecResultMsg::HashSSet(result->s_set) == result->s_hash) {
-    pending.payloads.emplace(key, *result);
-  }
+  // s_hash consistency was verified on entry, so every full result can
+  // serve as the payload for its key.
+  if (result->full) pending.payloads.emplace(key, *result);
 }
 
 void StatelessNodeActor::MaybePropose() {
@@ -804,15 +941,40 @@ void StatelessNodeActor::MaybePropose() {
     auto pending = exec_results_.find({r - 2, static_cast<uint32_t>(d)});
     bool accepted = false;
     if (pending != exec_results_.end()) {
+      if (pending->second.result_votes.size() > 1) {
+        // Two distinct (root, s_hash) keys for the same (round, shard):
+        // someone executed-and-signed a divergent result. Evidence, not
+        // fatal — the vote count below picks the honest majority.
+        system_->adversary()->NoteEvidence("divergent_exec_result",
+                                           TraceName());
+      }
+      // Most-voted key reaching the execution threshold wins. A key is
+      // usable only when its S data is in hand: either a full payload
+      // arrived, or its s_hash half commits to the empty S set (nothing to
+      // carry). Map order breaks exact ties deterministically.
+      const crypto::Hash256 empty_s_hash = ExecResultMsg::HashSSet({});
+      const std::string* best_key = nullptr;
+      int best_votes = 0;
       for (const auto& [key, votes] : pending->second.result_votes) {
-        if (votes >= p.execution_threshold &&
-            pending->second.payloads.count(key) > 0) {
-          const ExecResultMsg& res = pending->second.payloads.at(key);
-          proposal.shard_roots[d] = res.new_root;
-          if (!res.s_set.empty()) s_sets.push_back(res.s_set);
-          accepted = true;
-          break;
+        if (votes < p.execution_threshold) continue;
+        const bool has_payload = pending->second.payloads.count(key) > 0;
+        const bool empty_s =
+            key.size() == 64 &&
+            std::memcmp(key.data() + 32, empty_s_hash.data(), 32) == 0;
+        if (!has_payload && !empty_s) continue;
+        if (votes > best_votes) {
+          best_votes = votes;
+          best_key = &key;
         }
+      }
+      if (best_key != nullptr) {
+        std::memcpy(proposal.shard_roots[d].data(), best_key->data(), 32);
+        auto payload = pending->second.payloads.find(*best_key);
+        if (payload != pending->second.payloads.end() &&
+            !payload->second.s_set.empty()) {
+          s_sets.push_back(payload->second.s_set);
+        }
+        accepted = true;
       }
     }
     // Success/failure feedback for in-flight multi-shard updates.
@@ -880,9 +1042,33 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
             tracer->Instant(lane, "vote", TraceName());
           }
           BroadcastToOc(kMsgVote, v.Encode(), lane);
+          if (strategy_ == AdvStrategy::kEquivocate) {
+            // Classic equivocation: a second, conflicting, *properly
+            // signed* vote for a forged value right behind the honest one.
+            // First-vote-wins keeps honest counting intact; the conflict
+            // becomes signed evidence at every honest member. The value is
+            // index-salted so equivocators never agree with each other and
+            // forged values can never gather a quorum.
+            AdversaryController* adv = system_->adversary();
+            consensus::Vote forged = v;
+            forged.value = adv->ForgedValue(
+                "equivocate", v.instance,
+                static_cast<uint64_t>(v.step) * 2 + v.kind,
+                static_cast<uint64_t>(index_));
+            forged.voter = keys_.public_key;
+            forged.signature = system_->provider()->Sign(
+                keys_.private_key, forged.SigningBytes());
+            adv->NoteAction(strategy_, "equivocate_vote", TraceName());
+            BroadcastToOc(kMsgVote, forged.Encode(), lane);
+          }
         },
         [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
     ba_->set_instruments(system_->obs_.consensus);
+    ba_->set_evidence_sink(
+        [this](const consensus::EquivocationEvidence& ev) {
+          system_->adversary()->NoteEvidence("equivocation", TraceName());
+          system_->RecordEquivocationEvidence(ev);
+        });
     ba_->set_backoff(system_->params().phase_interval_us,
                      system_->params().consensus_backoff_cap_us);
     if (system_->tracer()->enabled()) {

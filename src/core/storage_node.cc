@@ -20,11 +20,11 @@ Bytes WitnessSigningBytes(const tx::TransactionBlockHeader& header) {
 }  // namespace
 
 StorageNodeActor::StorageNodeActor(PorygonSystem* system, int index,
-                                   net::NodeId net_id, bool malicious)
+                                   net::NodeId net_id, AdvStrategy strategy)
     : system_(system),
       index_(index),
       net_id_(net_id),
-      malicious_(malicious),
+      strategy_(strategy),
       pool_(system->params().shard_bits),
       env_(new storage::MemEnv()) {
   storage::DbOptions db_options;
@@ -176,7 +176,7 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
   // announcement simply arrived after the grace period (large proposal
   // blocks delay NewRound); ship the blocks to it directly.
   if (static_cast<Role>(a->role) == Role::kExecution &&
-      a->round == last_distributed_round_ && !malicious_) {
+      a->round == last_distributed_round_ && !withholds_bodies()) {
     auto it = offered_blocks_.find(a->shard);
     if (it != offered_blocks_.end()) {
       for (const auto& block_id : it->second) {
@@ -198,7 +198,7 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
       }
     }
   }
-  if (!from_gossip && !malicious_) {
+  if (!from_gossip && !suppresses_gossip()) {
     std::string key = "ra" + std::to_string(a->round) +
                       std::string(reinterpret_cast<const char*>(
                                       a->node_key.data()),
@@ -281,11 +281,16 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
       uint32_t shard = block->header.shard;
       auto it = reg->ec_by_shard.find(shard);
       if (it == reg->ec_by_shard.end()) continue;
-      // A malicious storage node withholds bodies: members receive a header
-      // with no transactions and cannot witness (Challenge 2).
+      // A withholding storage node ships headers with no bodies: members
+      // cannot witness what they cannot download (Challenge 2).
       tx::TransactionBlock outgoing;
       outgoing.header = block->header;
-      if (!malicious_) outgoing.transactions = block->transactions;
+      if (withholds_bodies()) {
+        system_->adversary()->NoteAction(strategy_, "withhold_body",
+                                         TraceName(), /*trace=*/false);
+      } else {
+        outgoing.transactions = block->transactions;
+      }
       Bytes enc = outgoing.Encode();
       for (net::NodeId member : it->second) {
         net::Message m;
@@ -421,12 +426,24 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
   if (!up.ok()) return;
   const std::string key = IdKey(up->proof.block_id);
   auto stored = system_->block_store_.find(key);
-  if (stored == system_->block_store_.end()) return;
+  if (stored == system_->block_store_.end()) {
+    // No such block: a proof over a ghost id (or, benignly, an upload for a
+    // block this node pruned/erased around a crash window).
+    system_->obs_.rejected_unknown_block->Increment();
+    return;
+  }
+
+  // Identity check: only registered stateless nodes can witness.
+  if (system_->stateless_keys_.count(up->proof.witness) == 0) {
+    system_->obs_.rejected_unknown_witness->Increment();
+    return;
+  }
 
   // Verify the witness signature over the block header.
   Bytes signing = WitnessSigningBytes(stored->second.block.header);
   if (!system_->provider()->Verify(up->proof.witness, signing,
                                    up->proof.signature)) {
+    system_->obs_.rejected_bad_witness_sig->Increment();
     return;
   }
 
@@ -445,7 +462,7 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
     }
   }
 
-  if (!from_gossip && !malicious_) {
+  if (!from_gossip && !suppresses_gossip()) {
     std::string gossip_key =
         "wu" + key +
         std::string(reinterpret_cast<const char*>(up->proof.witness.data()),
@@ -461,7 +478,13 @@ void StorageNodeActor::OnWitnessUpload(const net::Message& msg,
 void StorageNodeActor::OnRelay(const net::Message& msg) {
   auto relay = Relay::Decode(msg.payload);
   if (!relay.ok()) return;
-  if (malicious_) return;  // Malicious storage drops routed traffic.
+  if (drops_relays()) {
+    // Withholding and censoring storage both drop routed traffic; the
+    // sender's failover layer retries through its other connections.
+    system_->adversary()->NoteAction(strategy_, "censor_relay", TraceName(),
+                                     /*trace=*/false);
+    return;
+  }
   net::SimNetwork* net = system_->network();
 
   auto forward = [&](net::NodeId dest) {
@@ -521,6 +544,21 @@ void StorageNodeActor::OnStateRequest(const net::Message& msg) {
     } else {
       resp.proof_bytes += opt.state_proof_bytes_per_account;
     }
+    if (tampers_state()) {
+      // Doctor the entry *after* proving: the proof commits to the true
+      // value, so the mismatch is exactly what the stateless node's
+      // cross-check (VerifyStateResponse) catches. The perturbation is a
+      // pure hash of (round, account) — deterministic and non-zero.
+      StateResponse::Entry& doctored = resp.entries.back();
+      doctored.value.balance +=
+          1 + crypto::HashPrefixU64(system_->adversary()->ForgedValue(
+                  "state", req->round, id)) %
+                  997;
+      doctored.present = true;
+    }
+  }
+  if (tampers_state() && !req->accounts.empty()) {
+    system_->adversary()->NoteAction(strategy_, "tamper_state", TraceName());
   }
 
   net::Message m;
@@ -538,8 +576,14 @@ void StorageNodeActor::OnResync(const net::Message& msg) {
   // Reply with our committed tip as a NewRound. The receiver's stale-round
   // check makes this idempotent; a node that fell behind catches up. Like
   // state serving, this answers even on malicious nodes (withholding the
-  // tip would be instantly detectable; the modeled attack is on bodies).
-  const tx::ProposalBlock& tip = system_->chain().back();
+  // tip would be instantly detectable; the modeled attacks are on bodies or
+  // on freshness: a stale-replying node always answers with genesis, which
+  // the receiver's stale-round check rejects and counts).
+  if (stale_replies()) {
+    system_->adversary()->NoteAction(strategy_, "stale_reply", TraceName());
+  }
+  const tx::ProposalBlock& tip =
+      stale_replies() ? system_->chain().front() : system_->chain().back();
   Bytes enc = tip.Encode();
   net::Message m;
   m.from = net_id_;
@@ -631,7 +675,7 @@ void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
 
   system_->OnBlockCommitted(*block, system_->events()->now());
 
-  if (!from_gossip && !malicious_) {
+  if (!from_gossip && !suppresses_gossip()) {
     GossipToPeers(kMsgCommit, msg.payload, msg.payload.size());
   }
 }

@@ -73,9 +73,41 @@ Status SystemOptions::Validate() const {
     return Status::InvalidArgument(
         "malicious_storage_fraction outside [0,1]");
   }
+  if (malicious_storage_fraction > 0.5) {
+    return Status::InvalidArgument(
+        "malicious_storage_fraction exceeds the paper's beta bound (1/2)");
+  }
   if (!fraction(malicious_stateless_fraction)) {
     return Status::InvalidArgument(
         "malicious_stateless_fraction outside [0,1]");
+  }
+  if (malicious_stateless_fraction > 0.25) {
+    return Status::InvalidArgument(
+        "malicious_stateless_fraction exceeds the paper's alpha bound (1/4)");
+  }
+  if (adversary.stateless != AdvStrategy::kHonest &&
+      !IsStatelessStrategy(adversary.stateless)) {
+    return Status::InvalidArgument(
+        "adversary.stateless is not a stateless strategy");
+  }
+  if (adversary.storage != AdvStrategy::kHonest &&
+      !IsStorageStrategy(adversary.storage)) {
+    return Status::InvalidArgument(
+        "adversary.storage is not a storage strategy");
+  }
+  if (adversary.alpha < 0 || adversary.alpha > 0.25) {
+    return Status::InvalidArgument(
+        "adversary.alpha outside the paper's bound [0,1/4]");
+  }
+  if (adversary.beta < 0 || adversary.beta > 0.5) {
+    return Status::InvalidArgument(
+        "adversary.beta outside the paper's bound [0,1/2]");
+  }
+  if (!adversary.empty() && (malicious_storage_fraction > 0 ||
+                             malicious_stateless_fraction > 0)) {
+    return Status::InvalidArgument(
+        "adversary spec and legacy malicious fractions are mutually "
+        "exclusive");
   }
   if (mean_session_s < 0) {
     return Status::InvalidArgument("mean_session_s must be >= 0");
@@ -246,6 +278,22 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   obs_.consensus.registry = &metrics_registry_;
   obs_.rejected_unavailable = metrics_registry_.GetCounter(
       "porygon.rejected_txs", {{"reason", "unavailable"}});
+  // Protocol-side hardening: every rejection of a forged/tampered/stale
+  // input lands in a reason-labelled series, so adversarial runs show
+  // exactly which defenses fired.
+  auto rejected = [this](const char* reason) {
+    return metrics_registry_.GetCounter("core.rejected", {{"reason", reason}});
+  };
+  obs_.rejected_bad_witness_sig = rejected("bad_witness_sig");
+  obs_.rejected_unknown_witness = rejected("unknown_witness");
+  obs_.rejected_unknown_block = rejected("unknown_block");
+  obs_.rejected_bad_exec_sig = rejected("bad_exec_sig");
+  obs_.rejected_unknown_signer = rejected("unknown_signer");
+  obs_.rejected_s_hash_mismatch = rejected("s_hash_mismatch");
+  obs_.rejected_bad_state_proof = rejected("bad_state_proof");
+  obs_.rejected_stale_round = rejected("stale_round");
+  obs_.rejected_bad_shard = rejected("bad_shard");
+  obs_.rejected_unlocked_update = rejected("unlocked_update");
   obs_.failover_timeouts =
       metrics_registry_.GetCounter("core.failover.request_timeouts");
   obs_.failover_retransmits =
@@ -306,15 +354,37 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   exec_state_ =
       std::make_unique<state::ShardedState>(options_.params.shard_bits);
 
+  // --- Adversary ----------------------------------------------------------
+  // The legacy fraction knobs are just the silent/withhold strategies of
+  // the framework; synthesize the equivalent spec so one mechanism places
+  // and drives every corrupted node. The synthesized seed tracks the
+  // system seed so legacy runs still re-deal placement per seed.
+  AdversarySpec effective_adversary = options_.adversary;
+  if (effective_adversary.empty() &&
+      (options_.malicious_stateless_fraction > 0 ||
+       options_.malicious_storage_fraction > 0)) {
+    if (options_.malicious_stateless_fraction > 0) {
+      effective_adversary.stateless = AdvStrategy::kSilent;
+      effective_adversary.alpha = options_.malicious_stateless_fraction;
+    }
+    if (options_.malicious_storage_fraction > 0) {
+      effective_adversary.storage = AdvStrategy::kWithhold;
+      effective_adversary.beta = options_.malicious_storage_fraction;
+    }
+    effective_adversary.seed = options_.seed;
+  }
+  adversary_ = std::make_unique<AdversaryController>(
+      effective_adversary, &metrics_registry_, &tracer_);
+
   // --- Storage nodes ------------------------------------------------------
-  int malicious_storage = static_cast<int>(options_.num_storage_nodes *
-                                           options_.malicious_storage_fraction);
+  const std::vector<AdvStrategy> storage_strategies =
+      adversary_->PlaceStorage(options_.num_storage_nodes);
   for (int i = 0; i < options_.num_storage_nodes; ++i) {
     net::NodeId nid = network_->AddNode(
         {options_.params.storage_bps, options_.params.storage_bps},
         "storage");
-    bool malicious = i < malicious_storage;
-    auto actor = std::make_unique<StorageNodeActor>(this, i, nid, malicious);
+    auto actor = std::make_unique<StorageNodeActor>(this, i, nid,
+                                                    storage_strategies[i]);
     StorageNodeActor* raw = actor.get();
     network_->SetHandler(nid,
                          [raw](const net::Message& m) { raw->HandleMessage(m); });
@@ -322,15 +392,11 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   }
 
   // --- Stateless nodes ----------------------------------------------------
-  int malicious_stateless =
-      static_cast<int>(options_.num_stateless_nodes *
-                       options_.malicious_stateless_fraction);
   // Genesis sortition decides the stable Ordering Committee: the oc_size
   // lowest values (the paper lets the OC outlive rotating ECs, §IV-C2).
   struct Draft {
     crypto::KeyPair keys;
     double genesis_sortition;
-    bool malicious;
   };
   std::vector<Draft> drafts;
   for (int i = 0; i < options_.num_stateless_nodes; ++i) {
@@ -339,12 +405,8 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
     auto a = Sortition::Assign(provider_.get(), d.keys.private_key, 0,
                                crypto::ZeroHash(), 1.0, 0.0, 0);
     d.genesis_sortition = a.sortition;
-    d.malicious = false;
+    stateless_keys_.insert(d.keys.public_key);
     drafts.push_back(std::move(d));
-  }
-  // Malicious stateless nodes are placed uniformly (§V assumption).
-  for (int i = 0; i < malicious_stateless; ++i) {
-    drafts[rng_.NextBelow(drafts.size())].malicious = true;
   }
   std::vector<int> order(drafts.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
@@ -358,6 +420,14 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
        ++i) {
     oc_set.insert(order[i]);
   }
+
+  // Leader: the lowest genesis sortition (always an OC member). Chosen
+  // before adversary placement and exempt from it, so the honest-leader
+  // proposal stream — and thus the committed chain — of an adversarial
+  // run is byte-comparable to the adversary-free run with the same seed.
+  const int leader_idx = order.empty() ? 0 : order[0];
+  const std::vector<AdvStrategy> stateless_strategies =
+      adversary_->PlaceStateless(order, options_.oc_size, leader_idx);
 
   for (int i = 0; i < options_.num_stateless_nodes; ++i) {
     net::NodeId nid = network_->AddNode(
@@ -379,8 +449,8 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
 
     bool in_oc = oc_set.count(i) > 0;
     auto actor = std::make_unique<StatelessNodeActor>(
-        this, i, nid, drafts[i].keys, std::move(conns), drafts[i].malicious,
-        in_oc);
+        this, i, nid, drafts[i].keys, std::move(conns),
+        stateless_strategies[i], in_oc);
     StatelessNodeActor* raw = actor.get();
     network_->SetHandler(nid,
                          [raw](const net::Message& m) { raw->HandleMessage(m); });
@@ -391,14 +461,7 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
     stateless_nodes_.push_back(std::move(actor));
   }
 
-  // Leader: lowest genesis sortition among honest OC members (the honest
-  // common case; corrupted leaders yield empty rounds, Theorem 2).
-  for (int idx : order) {
-    if (oc_set.count(idx) > 0 && !drafts[idx].malicious) {
-      leader_net_id_ = stateless_nodes_[idx]->net_id();
-      break;
-    }
-  }
+  leader_net_id_ = stateless_nodes_[leader_idx]->net_id();
 
   genesis_.height = 0;
   genesis_.round = 0;
@@ -478,6 +541,16 @@ Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
   obs_.submitted_txs->Increment();
   if (tracer_.enabled()) TraceSubmit(t);
   return Status::Ok();
+}
+
+void PorygonSystem::RecordEquivocationEvidence(
+    const consensus::EquivocationEvidence& ev) {
+  // Bounded: an adversary re-equivocating every round must not grow this
+  // without limit. (Each BA★ instance already dedupes per voter/step/kind,
+  // so the cap is generous.)
+  constexpr size_t kMaxEvidence = 4096;
+  if (equivocation_evidence_.size() >= kMaxEvidence) return;
+  equivocation_evidence_.push_back(ev);
 }
 
 void PorygonSystem::RegisterAnnounce(const RoleAnnounce& announce) {

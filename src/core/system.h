@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "consensus/ba_star.h"
+#include "core/adversary.h"
 #include "core/committee.h"
 #include "core/coordinator.h"
 #include "core/execution.h"
@@ -67,10 +68,17 @@ struct SystemOptions {
   /// Modeled multiproof cost per account when proofs are not materialized.
   size_t state_proof_bytes_per_account = 128;
   /// Fraction of storage nodes that withhold transaction bodies
-  /// (data-availability attack, Challenge 2).
+  /// (data-availability attack, Challenge 2). Bounded by the paper's
+  /// β ≤ 1/2. Legacy shorthand for `adversary` with storage:withhold.
   double malicious_storage_fraction = 0.0;
   /// Fraction of stateless nodes that stay silent (crash-style faults).
+  /// Bounded by the paper's α ≤ 1/4. Legacy shorthand for `adversary`
+  /// with stateless:silent.
   double malicious_stateless_fraction = 0.0;
+  /// Active Byzantine adversary for this run (see core/adversary.h);
+  /// empty = honest. Mutually exclusive with the legacy fractions above,
+  /// which are converted into the equivalent silent/withhold spec.
+  AdversarySpec adversary;
   /// Mean stateless-node session length in seconds (0 = nodes never
   /// leave) — churn experiments (Fig 8d). Expired nodes skip a round to
   /// "rejoin", then resume with a fresh session. Porygon tolerates this
@@ -149,7 +157,7 @@ class SystemMetrics {
 class StorageNodeActor {
  public:
   StorageNodeActor(PorygonSystem* system, int index, net::NodeId net_id,
-                   bool malicious);
+                   AdvStrategy strategy);
 
   void HandleMessage(const net::Message& msg);
   /// Round r has started: notify primaries; then (after a grace period)
@@ -165,7 +173,8 @@ class StorageNodeActor {
 
   int index() const { return index_; }
   net::NodeId net_id() const { return net_id_; }
-  bool malicious() const { return malicious_; }
+  bool malicious() const { return strategy_ != AdvStrategy::kHonest; }
+  AdvStrategy strategy() const { return strategy_; }
   uint64_t db_bytes() const;
   /// Diagnostics: blocks that reached Tw in batch `round`.
   size_t WitnessedInBatch(uint64_t round) const {
@@ -192,10 +201,24 @@ class StorageNodeActor {
   /// Node label on trace spans (only built when tracing is enabled).
   std::string TraceName() const { return "storage" + std::to_string(index_); }
 
+  // Strategy predicates: kWithhold is the legacy data-availability
+  // adversary (bodies withheld, relays dropped, gossip suppressed);
+  // the other strategies each misbehave on exactly one surface.
+  bool withholds_bodies() const { return strategy_ == AdvStrategy::kWithhold; }
+  bool suppresses_gossip() const {
+    return strategy_ == AdvStrategy::kWithhold;
+  }
+  bool drops_relays() const {
+    return strategy_ == AdvStrategy::kWithhold ||
+           strategy_ == AdvStrategy::kCensor;
+  }
+  bool tampers_state() const { return strategy_ == AdvStrategy::kTamperState; }
+  bool stale_replies() const { return strategy_ == AdvStrategy::kStaleReply; }
+
   PorygonSystem* system_;
   int index_;
   net::NodeId net_id_;
-  bool malicious_;
+  AdvStrategy strategy_;
 
   tx::TxPool pool_;
   std::unique_ptr<storage::MemEnv> env_;
@@ -230,7 +253,7 @@ class StatelessNodeActor {
  public:
   StatelessNodeActor(PorygonSystem* system, int index, net::NodeId net_id,
                      crypto::KeyPair keys, std::vector<net::NodeId> storages,
-                     bool malicious, bool in_oc);
+                     AdvStrategy strategy, bool in_oc);
 
   void HandleMessage(const net::Message& msg);
   /// Storage primary told us a new round started (B_{r-1} attached).
@@ -248,7 +271,8 @@ class StatelessNodeActor {
   /// Diagnostics: index into the connection list currently used as primary.
   size_t primary_index() const { return primary_idx_; }
   bool in_oc() const { return in_oc_; }
-  bool malicious() const { return malicious_; }
+  bool malicious() const { return strategy_ != AdvStrategy::kHonest; }
+  AdvStrategy strategy() const { return strategy_; }
   /// Modeled storage footprint in bytes (Fig 9a): latest proposal block,
   /// committee public keys, and transiently-held witnessed block bodies.
   uint64_t StorageFootprintBytes() const;
@@ -266,6 +290,11 @@ class StatelessNodeActor {
   void OnTxBlock(const net::Message& msg);
   void OnExecRequest(const net::Message& msg);
   void OnStateResponse(const net::Message& msg);
+  /// Faithful-mode cross-check of a storage state reply: every entry's
+  /// Merkle proof must verify against the committed roots the exec
+  /// request carried. A tampering storage node fails this (proofs attest
+  /// the true values), triggering a re-request from another connection.
+  bool VerifyStateResponse(const StateResponse& resp) const;
   void RunExecution();
 
   // --- OC paths ---------------------------------------------------------
@@ -309,7 +338,7 @@ class StatelessNodeActor {
   net::NodeId net_id_;
   crypto::KeyPair keys_;
   std::vector<net::NodeId> storages_;  // m connections; [0] is primary.
-  bool malicious_;
+  AdvStrategy strategy_;
   bool in_oc_;
 
   uint64_t current_round_ = 0;
@@ -367,6 +396,10 @@ class StatelessNodeActor {
     bool state_requested = false;
     std::optional<StateResponse> state;
     uint64_t trace_span = 0;  ///< Open "exec" span (0 = untraced).
+    /// Accounts the state request asked for (re-requests after a failed
+    /// proof cross-check reuse the same set).
+    std::vector<state::AccountId> state_accounts;
+    int state_retries = 0;  ///< Re-requests issued after bad replies.
   };
   std::optional<ExecTask> exec_task_;
 
@@ -445,6 +478,15 @@ class PorygonSystem {
   const SystemOptions& options() const { return options_; }
   const Params& params() const { return options_.params; }
   crypto::CryptoProvider* provider() { return provider_.get(); }
+  /// The deployment's adversary controller (never null; inert — and its
+  /// action counters zero — when no adversary is configured).
+  AdversaryController* adversary() { return adversary_.get(); }
+  /// Equivocation evidence reported by honest OC members' BA★ instances,
+  /// in detection order (bounded; empty in honest runs).
+  const std::vector<consensus::EquivocationEvidence>& equivocation_evidence()
+      const {
+    return equivocation_evidence_;
+  }
   /// The deployment's compute pool (never null; 0-worker pools run serial).
   runtime::TaskPool* task_pool() { return pool_.get(); }
   double sim_seconds() const { return net::ToSeconds(events_.now()); }
@@ -512,6 +554,11 @@ class PorygonSystem {
   void RegisterAnnounce(const RoleAnnounce& announce);
   const RoundRegistry* RegistryFor(uint64_t round) const;
 
+  /// Appends one equivocation-evidence record (called from honest OC
+  /// members' BA★ evidence sinks; bounded so a vote-spamming adversary
+  /// cannot grow memory without limit).
+  void RecordEquivocationEvidence(const consensus::EquivocationEvidence& ev);
+
   // --- Observability -----------------------------------------------------
   // Phase-duration recording: witness when blocks reach Tw, ordering at the
   // leader's BA* decision, commit from decision to block application,
@@ -566,6 +613,20 @@ class PorygonSystem {
     obs::Counter* exec_cache_hits = nullptr;
     obs::Counter* exec_cache_misses = nullptr;
     obs::Counter* rejected_unavailable = nullptr;
+    // Protocol-side hardening: reason-labelled `core.rejected{reason}`
+    // rejections of forged / tampered / stale inputs. All zero in honest
+    // runs except stale_round (benign duplicate deliveries) and
+    // unknown_block (witness uploads racing a rejoin requeue).
+    obs::Counter* rejected_bad_witness_sig = nullptr;
+    obs::Counter* rejected_unknown_witness = nullptr;
+    obs::Counter* rejected_unknown_block = nullptr;
+    obs::Counter* rejected_bad_exec_sig = nullptr;
+    obs::Counter* rejected_unknown_signer = nullptr;
+    obs::Counter* rejected_s_hash_mismatch = nullptr;
+    obs::Counter* rejected_bad_state_proof = nullptr;
+    obs::Counter* rejected_stale_round = nullptr;
+    obs::Counter* rejected_bad_shard = nullptr;
+    obs::Counter* rejected_unlocked_update = nullptr;
     // Storage-link failover (stateless-node health model).
     obs::Counter* failover_timeouts = nullptr;
     obs::Counter* failover_retransmits = nullptr;
@@ -621,6 +682,13 @@ class PorygonSystem {
   // which cache the pointer) and clocked off events_ — both outlive nothing
   // that records into them.
   obs::Tracer tracer_;
+  // Declared after the registry and tracer (it caches counter pointers
+  // and the tracer) and before the actors that consult it.
+  std::unique_ptr<AdversaryController> adversary_;
+  // Registered stateless identities: witness proofs and exec results
+  // from keys outside this set are rejected before signature checks.
+  std::set<crypto::PublicKey> stateless_keys_;
+  std::vector<consensus::EquivocationEvidence> equivocation_evidence_;
   std::unordered_map<std::string, TxTraceState> traced_txs_;  // By tx id.
   // Listing round -> traced tx ids listed there (drives sse/commit spans).
   std::map<uint64_t, std::vector<std::string>> traced_by_listing_;

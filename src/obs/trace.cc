@@ -155,6 +155,7 @@ std::string Tracer::ExportChromeJson() const {
   }
 
   auto trace_name = [](uint64_t trace_id) -> std::string {
+    if (trace_id == kAdversaryTraceId) return "adversary";
     if (trace_id == kFaultTraceId) return "faults";
     if (trace_id >= kRoundTraceBase) {
       return "round " + FormatU64(trace_id - kRoundTraceBase);
@@ -190,9 +191,15 @@ std::string Tracer::ExportChromeJson() const {
     out += "{\"ph\":\"";
     out += instant ? "i" : "X";
     out += "\",\"name\":\"" + JsonEscape(s->name) + "\",\"cat\":\"";
-    out += s->trace_id == kFaultTraceId
-               ? "fault"
-               : (s->trace_id >= kRoundTraceBase ? "round" : "tx");
+    if (s->trace_id == kAdversaryTraceId) {
+      out += "adversary";
+    } else if (s->trace_id == kFaultTraceId) {
+      out += "fault";
+    } else if (s->trace_id >= kRoundTraceBase) {
+      out += "round";
+    } else {
+      out += "tx";
+    }
     out += "\",\"pid\":" + FormatU64(s->trace_id) +
            ",\"tid\":" + FormatU64(node_tid.at(s->node)) +
            ",\"ts\":" + FormatI64(s->start);

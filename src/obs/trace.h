@@ -92,6 +92,14 @@ class Tracer {
     return enabled_ ? TraceContext{kFaultTraceId, 0} : TraceContext{};
   }
 
+  /// The always-on lane for adversarial actions and the honest protocol's
+  /// detections of them (inactive when disabled). Exported as the
+  /// "adversary" process, so attack and evidence instants line up against
+  /// the round lanes they target.
+  TraceContext AdversaryContext() const {
+    return enabled_ ? TraceContext{kAdversaryTraceId, 0} : TraceContext{};
+  }
+
   /// Context for children of span `span_id` within `ctx`'s trace.
   static TraceContext ChildOf(const TraceContext& ctx, uint64_t span_id) {
     return TraceContext{ctx.trace_id, span_id};
@@ -138,6 +146,8 @@ class Tracer {
   static constexpr uint64_t kRoundTraceBase = 1'000'000'000;
   /// Fixed id of the fault lane, above every plausible round id.
   static constexpr uint64_t kFaultTraceId = 2'000'000'000;
+  /// Fixed id of the adversary lane, above the fault lane.
+  static constexpr uint64_t kAdversaryTraceId = 3'000'000'000;
 
  private:
   struct OpenSpan {

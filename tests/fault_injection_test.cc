@@ -56,28 +56,34 @@ TEST(FaultInjectionTest, CrashedStatelessNodesDontStallRounds) {
 }
 
 TEST(FaultInjectionTest, WitnessPhaseBlocksUnavailableBodies) {
-  // Every storage node withholds bodies AND drops routed traffic — far
-  // beyond the paper's beta = 1/2 bound. No transaction can be witnessed,
-  // so nothing ever commits; what matters is that nothing *incorrect*
-  // commits either.
+  // Half the storage nodes withhold bodies and drop routed traffic — the
+  // paper's beta = 1/2 bound, which SystemOptions::Validate now enforces
+  // as a hard ceiling. Blocks packaged by the withholding node can never
+  // be witnessed (their bodies are unavailable, Challenge 2), so their
+  // transactions never commit; blocks from the honest node still flow,
+  // and nothing *incorrect* commits.
   SystemOptions opt = Opts();
-  opt.malicious_storage_fraction = 1.0;
+  opt.malicious_storage_fraction = 0.5;
   PorygonSystem sys(opt);
   sys.CreateAccounts(100, 10'000);
-  for (uint64_t f = 1; f <= 10; ++f) {
+  for (uint64_t f = 1; f <= 20; ++f) {
     tx::Transaction t;
     t.from = f;
-    t.to = f + 20;
+    t.to = f + 30;
     t.amount = 1;
     t.nonce = 0;
     sys.SubmitTransaction(t);
   }
   sys.Run(8, net::FromSeconds(300));
-  EXPECT_EQ(sys.metrics().committed_intra_txs(), 0u);
-  EXPECT_EQ(sys.metrics().committed_cross_txs(), 0u);
-  // Whatever blocks exist (if any) are empty ones.
-  EXPECT_EQ(sys.metrics().empty_rounds(), sys.metrics().committed_blocks());
+  // Liveness: the honest half keeps the chain moving.
+  EXPECT_GT(sys.metrics().committed_blocks(), 0u);
+  // Safety: whatever committed replays cleanly.
   EXPECT_EQ(sys.metrics().replay_mismatches(), 0u);
+  // The withholding node really acted (bodies dropped at distribution).
+  EXPECT_GT(sys.adversary()->actions(), 0u);
+  // Transactions homed at the withholding node are stuck in unavailable
+  // blocks, so not everything can commit.
+  EXPECT_LT(sys.metrics().committed_txs(), 20u);
 }
 
 TEST(FaultInjectionTest, DropFilterCensorshipDegradesButDoesNotCorrupt) {
