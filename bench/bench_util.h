@@ -8,13 +8,117 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/system.h"
+#include "net/fault.h"
 #include "workload/generator.h"
+#include "workload/traffic.h"
 
 namespace porygon::bench {
+
+/// One CLI parser for every bench/example binary. The cross-cutting spec
+/// flags are accepted uniformly everywhere:
+///
+///   --workload=<spec>   workload::Spec::Parse clause grammar
+///   --faults=<spec>     net::FaultPlan::Parse clause grammar
+///   --adversary=<spec>  core::AdversarySpec::Parse clause grammar
+///   --trace-out=<file>  enable tracing, export Chrome JSON after the run
+///
+/// Per-binary flags are declared with Declare("--rounds=") before Parse and
+/// read back with Value(). Specs are validated eagerly, so a typo fails at
+/// the command line instead of silently running the default scenario; any
+/// undeclared `--flag` is an error instead of a silent ignore.
+class Args {
+ public:
+  Args& Declare(const std::string& prefix) {
+    declared_.emplace_back(prefix, "");
+    return *this;
+  }
+
+  Status Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;  // Positional args pass through.
+      std::string value;
+      if (Match(arg, "--workload=", &value)) {
+        PORYGON_ASSIGN_OR_RETURN(workload_, workload::Spec::Parse(value));
+      } else if (Match(arg, "--faults=", &value)) {
+        PORYGON_ASSIGN_OR_RETURN(faults_, net::FaultPlan::Parse(value));
+      } else if (Match(arg, "--adversary=", &value)) {
+        PORYGON_ASSIGN_OR_RETURN(adversary_,
+                                 core::AdversarySpec::Parse(value));
+      } else if (Match(arg, "--trace-out=", &value)) {
+        trace_out_ = value;
+      } else if (!MatchDeclared(arg)) {
+        return Status::InvalidArgument("unknown flag: " + arg);
+      }
+    }
+    return Status::Ok();
+  }
+
+  bool has_workload() const { return workload_.has_value(); }
+  /// The parsed --workload spec, or `fallback` when the flag was absent.
+  workload::Spec WorkloadOr(const workload::Spec& fallback) const {
+    return workload_.value_or(fallback);
+  }
+  bool has_faults() const { return faults_.has_value(); }
+  bool has_adversary() const { return adversary_.has_value(); }
+  const std::string& trace_out() const { return trace_out_; }
+
+  /// Value of a declared per-binary flag; empty when absent.
+  std::string Value(const std::string& prefix) const {
+    for (const auto& [p, v] : declared_) {
+      if (p == prefix) return v;
+    }
+    return "";
+  }
+
+  /// Folds --adversary and --trace-out into `options` and re-validates, so
+  /// a spec that is well-formed but infeasible for this deployment (e.g.
+  /// corruption above the committee threshold) fails before construction.
+  Status ApplyOptions(core::SystemOptions* options) const {
+    if (!trace_out_.empty()) options->trace.enabled = true;
+    if (adversary_.has_value()) {
+      options->adversary = *adversary_;
+      PORYGON_RETURN_IF_ERROR(options->Validate());
+    }
+    return Status::Ok();
+  }
+
+  /// Arms --faults against a constructed system (no-op when absent).
+  Status ApplyFaults(core::PorygonSystem* system) const {
+    if (!faults_.has_value()) return Status::Ok();
+    return system->InjectFaults(*faults_);
+  }
+
+ private:
+  static bool Match(const std::string& arg, const char* prefix,
+                    std::string* value) {
+    const std::string p(prefix);
+    if (arg.rfind(p, 0) != 0) return false;
+    *value = arg.substr(p.size());
+    return true;
+  }
+
+  bool MatchDeclared(const std::string& arg) {
+    for (auto& [prefix, value] : declared_) {
+      if (arg.rfind(prefix, 0) == 0) {
+        value = arg.substr(prefix.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::pair<std::string, std::string>> declared_;
+  std::optional<workload::Spec> workload_;
+  std::optional<net::FaultPlan> faults_;
+  std::optional<core::AdversarySpec> adversary_;
+  std::string trace_out_;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -72,14 +176,12 @@ inline RunSummary Summarize(const core::PorygonSystem& sys) {
 /// tops the mempool up so every shard can fill its blocks, then runs one
 /// round. Returns the sustained TPS over the measured window.
 inline RunSummary RunSaturated(core::PorygonSystem* sys,
-                               workload::WorkloadGenerator* gen, int rounds,
+                               workload::TrafficModel* gen, int rounds,
                                size_t txs_per_round) {
   // Warmup fills the pipeline (first commits lag by the pipeline depth).
   const int warmup = 4;
   for (int r = 0; r < rounds + warmup; ++r) {
-    for (const auto& t : gen->Batch(txs_per_round)) {
-      (void)sys->SubmitTransaction(t);
-    }
+    sys->SubmitBatch(gen->Batch(txs_per_round));
     sys->Run(1);
   }
   return Summarize(*sys);
@@ -87,14 +189,21 @@ inline RunSummary RunSaturated(core::PorygonSystem* sys,
 
 /// Drives a Porygon run open-loop: each round offers `offered_tps` worth
 /// of transactions sized by the estimated round duration, regardless of
-/// whether the system keeps up.
+/// whether the system keeps up. With an `arrival` process, the per-round
+/// offer follows its rate curve over sim time (mean stays `offered_tps`).
 inline RunSummary RunOpenLoop(core::PorygonSystem* sys,
-                              workload::WorkloadGenerator* gen, int rounds,
-                              double offered_tps, double est_round_s) {
+                              workload::TrafficModel* gen, int rounds,
+                              double offered_tps, double est_round_s,
+                              const workload::ArrivalProcess* arrival =
+                                  nullptr) {
   const int warmup = 4;
-  size_t n = static_cast<size_t>(offered_tps * est_round_s);
+  const size_t flat = static_cast<size_t>(offered_tps * est_round_s);
   for (int r = 0; r < rounds + warmup; ++r) {
-    for (const auto& t : gen->Batch(n)) (void)sys->SubmitTransaction(t);
+    size_t n = flat;
+    if (arrival != nullptr) {
+      n = arrival->CountFor(sys->sim_seconds(), est_round_s, offered_tps);
+    }
+    sys->SubmitBatch(gen->Batch(n));
     sys->Run(1);
   }
   return Summarize(*sys);
@@ -104,7 +213,7 @@ inline RunSummary RunOpenLoop(core::PorygonSystem* sys,
 /// SubmitTransaction still returns bool and whose metrics are plain
 /// structs. Returns the achieved TPS.
 template <typename System>
-double DriveOpenLoopTps(System* sys, workload::WorkloadGenerator* gen,
+double DriveOpenLoopTps(System* sys, workload::TrafficModel* gen,
                         int rounds, size_t txs_per_round) {
   for (int r = 0; r < rounds; ++r) {
     for (const auto& t : gen->Batch(txs_per_round)) {
@@ -176,37 +285,6 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   return written == json.size();
-}
-
-/// Parses `--trace-out=<file>` from argv; empty string when absent. A
-/// non-empty result means the harness should enable SystemOptions::trace
-/// and export with WriteTraceJson after the run.
-inline std::string FlagValueArg(int argc, char** argv,
-                                const std::string& prefix) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
-  }
-  return "";
-}
-
-inline std::string TraceOutArg(int argc, char** argv) {
-  return FlagValueArg(argc, argv, "--trace-out=");
-}
-
-/// Parses `--faults=<spec>` from argv; empty string when absent. The spec
-/// grammar is net::FaultPlan::Parse's comma-separated clause list, e.g.
-/// "loss:0.02,jitter:300,crash:0:6,recover:0:20".
-inline std::string FaultsArg(int argc, char** argv) {
-  return FlagValueArg(argc, argv, "--faults=");
-}
-
-/// Parses `--adversary=<spec>` from argv; empty string when absent. The
-/// spec grammar is core::AdversarySpec::Parse's comma-separated clause
-/// list, e.g. "stateless:equivocate,alpha:0.25" or
-/// "storage:tamper-state,beta:0.5,seed:9".
-inline std::string AdversaryArg(int argc, char** argv) {
-  return FlagValueArg(argc, argv, "--adversary=");
 }
 
 /// Dumps the system's span buffer as Chrome trace_event JSON to `path` —

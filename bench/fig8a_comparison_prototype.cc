@@ -3,12 +3,26 @@
 // Porygon > 21,090 TPS at 300 nodes; 10 nodes per shard for the sharded
 // systems).
 
+#include <memory>
+
 #include "baselines/blockene.h"
 #include "baselines/byshard.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace porygon;
+  bench::Args args;
+  if (Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  // Default traffic; --workload=<spec> swaps in any other model.
+  workload::Spec base_spec;
+  base_spec.num_accounts = 1'000'000;
+  base_spec.cross_shard_ratio = 0.1;
+  base_spec.seed = 5;
+  base_spec = args.WorkloadOr(base_spec);
+
   bench::PrintHeader(
       "Fig 8(a): prototype comparison (paper at 300 nodes: Porygon 21,090 / "
       "ByShard 9,150 / Blockene ~750 TPS)");
@@ -32,15 +46,14 @@ int main() {
       opt.blocks_per_shard_round = 2;
       opt.seed = 21;
       core::PorygonSystem sys(opt);
-      sys.CreateAccounts(1'000'000, 1'000'000);
-      workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
-                                       .shard_bits = shard_bits,
-                                       .cross_shard_ratio = 0.1,
-                                       .seed = 5});
+      sys.CreateAccountsLazy(base_spec.num_accounts, 1'000'000);
+      workload::Spec spec = base_spec;
+      spec.shard_bits = shard_bits;
+      std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
       size_t per_round = opt.blocks_per_shard_round *
                          opt.params.block_tx_limit *
                          static_cast<size_t>(shards);
-      porygon_tps = bench::RunSaturated(&sys, &gen, 8, per_round).tps;
+      porygon_tps = bench::RunSaturated(&sys, gen.get(), 8, per_round).tps;
     }
 
     double byshard_tps = 0;
@@ -51,13 +64,13 @@ int main() {
       opt.block_tx_limit = 1000;  // §VI: ~1,000-tx blocks in ByShard.
       opt.seed = 21;
       baselines::ByshardSystem sys(opt);
-      sys.CreateAccounts(1'000'000, 1'000'000);
-      workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
-                                       .shard_bits = shard_bits,
-                                       .cross_shard_ratio = 0.1,
-                                       .seed = 5});
+      sys.CreateAccounts(base_spec.num_accounts, 1'000'000);
+      workload::Spec spec = base_spec;
+      spec.shard_bits = shard_bits;
+      std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
       byshard_tps = bench::DriveOpenLoopTps(
-          &sys, &gen, 10, opt.block_tx_limit * static_cast<size_t>(shards));
+          &sys, gen.get(), 10,
+          opt.block_tx_limit * static_cast<size_t>(shards));
     }
 
     double blockene_tps = 0;
@@ -68,11 +81,13 @@ int main() {
       opt.block_tx_limit = 2000;
       opt.seed = 21;
       baselines::BlockeneSystem sys(opt);
-      sys.CreateAccounts(1'000'000, 1'000'000);
-      workload::WorkloadGenerator gen(
-          {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 5});
+      sys.CreateAccounts(base_spec.num_accounts, 1'000'000);
+      workload::Spec spec = base_spec;
+      spec.shard_bits = 0;
+      spec.cross_shard_ratio = -1.0;  // Blockene is unsharded.
+      std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
       blockene_tps =
-          bench::DriveOpenLoopTps(&sys, &gen, 10, opt.block_tx_limit);
+          bench::DriveOpenLoopTps(&sys, gen.get(), 10, opt.block_tx_limit);
     }
 
     bench::PrintRow({std::to_string(nodes), bench::FmtInt(porygon_tps),

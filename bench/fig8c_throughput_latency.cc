@@ -9,7 +9,12 @@
 // p50/p95/p99, and storage-engine counters — to the first positional
 // argument, defaulting to fig8c.metrics.json. With --trace-out=<file>, the
 // last Porygon run additionally records distributed-tracing spans and
-// exports them as Perfetto-loadable Chrome trace JSON.
+// exports them as Perfetto-loadable Chrome trace JSON. With
+// --workload=<spec>, every system runs that traffic model instead of the
+// default uniform 10%-cross-shard transfers (grammar in
+// workload/traffic.h).
+
+#include <memory>
 
 #include "baselines/blockene.h"
 #include "baselines/byshard.h"
@@ -17,6 +22,12 @@
 
 int main(int argc, char** argv) {
   using namespace porygon;
+  bench::Args args;
+  if (Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+
   bench::PrintHeader(
       "Fig 8(c): throughput vs latency under varied submission rates "
       "(100 nodes)");
@@ -24,19 +35,15 @@ int main(int argc, char** argv) {
 
   const int shard_bits = 3;  // 8 shards.
   const int rounds = 8;
-  const std::string trace_path = bench::TraceOutArg(argc, argv);
-  const std::string adversary_spec = bench::AdversaryArg(argc, argv);
-  core::AdversarySpec adversary;
-  if (!adversary_spec.empty()) {
-    Result<core::AdversarySpec> parsed =
-        core::AdversarySpec::Parse(adversary_spec);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "bad --adversary spec: %s\n",
-                   parsed.status().ToString().c_str());
-      return 2;
-    }
-    adversary = *parsed;
-    std::printf("  (adversary: %s)\n", adversary.ToString().c_str());
+  // Default traffic: the paper's uniform transfers over a million accounts
+  // at a 10% controlled cross-shard ratio.
+  workload::Spec base_spec;
+  base_spec.num_accounts = 1'000'000;
+  base_spec.cross_shard_ratio = 0.1;
+  base_spec.seed = 6;
+  base_spec = args.WorkloadOr(base_spec);
+  if (args.has_workload()) {
+    std::printf("  (workload: %s)\n", base_spec.ToString().c_str());
   }
   std::string metrics_path = "fig8c.metrics.json";
   for (int i = 1; i < argc; ++i) {
@@ -58,33 +65,40 @@ int main(int argc, char** argv) {
     opt.oc_size = 10;
     opt.blocks_per_shard_round = 2;
     opt.seed = 33;
-    opt.trace.enabled = last && !trace_path.empty();
-    opt.adversary = adversary;
+    if (Status applied = args.ApplyOptions(&opt); !applied.ok()) {
+      std::fprintf(stderr, "bad --adversary spec: %s\n",
+                   applied.ToString().c_str());
+      return 2;
+    }
+    opt.trace.enabled = last && !args.trace_out().empty();
+    if (last && args.has_adversary()) {
+      std::printf("  (adversary: %s)\n", opt.adversary.ToString().c_str());
+    }
     core::PorygonSystem sys(opt);
-    sys.CreateAccounts(1'000'000, 1'000'000);
-    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
-                                     .shard_bits = shard_bits,
-                                     .cross_shard_ratio = 0.1,
-                                     .seed = 6});
+    sys.CreateAccountsLazy(base_spec.num_accounts, 1'000'000);
+    workload::Spec spec = base_spec;
+    spec.shard_bits = shard_bits;
+    std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
+    std::unique_ptr<workload::ArrivalProcess> arrival = spec.BuildArrival();
     bench::WallTimer timer;
-    auto r = bench::RunOpenLoop(&sys, &gen, rounds, offered,
-                                /*est_round_s=*/5.0);
+    auto r = bench::RunOpenLoop(&sys, gen.get(), rounds, offered,
+                                /*est_round_s=*/5.0, arrival.get());
     const double wall_ms = timer.ElapsedMs();
     bench::PrintRow({"Porygon", bench::FmtInt(offered), bench::FmtInt(r.tps),
                      bench::Fmt(r.user_latency_s)});
     bench::BenchStamp stamp;
     stamp.wall_ms = wall_ms;
     stamp.worker_threads = sys.task_pool()->thread_count();
-    if (!adversary.empty()) {
-      stamp.adversary_spec = adversary.ToString();
+    if (args.has_adversary()) {
+      stamp.adversary_spec = opt.adversary.ToString();
       stamp.adversary_evidence = sys.adversary()->evidence();
     }
     if (last && bench::WriteMetricsJson(sys, metrics_path, &stamp)) {
       std::printf("  (metrics export: %s)\n", metrics_path.c_str());
     }
-    if (last && !trace_path.empty() &&
-        bench::WriteTraceJson(&sys, trace_path)) {
-      std::printf("  (trace export: %s)\n", trace_path.c_str());
+    if (last && !args.trace_out().empty() &&
+        bench::WriteTraceJson(&sys, args.trace_out())) {
+      std::printf("  (trace export: %s)\n", args.trace_out().c_str());
     }
   }
 
@@ -95,13 +109,12 @@ int main(int argc, char** argv) {
     opt.block_tx_limit = 1000;
     opt.seed = 33;
     baselines::ByshardSystem sys(opt);
-    sys.CreateAccounts(1'000'000, 1'000'000);
-    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
-                                     .shard_bits = shard_bits,
-                                     .cross_shard_ratio = 0.1,
-                                     .seed = 6});
+    sys.CreateAccounts(base_spec.num_accounts, 1'000'000);
+    workload::Spec spec = base_spec;
+    spec.shard_bits = shard_bits;
+    std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
     double tps = bench::DriveOpenLoopTps(
-        &sys, &gen, 10, static_cast<size_t>(offered * 4.0));
+        &sys, gen.get(), 10, static_cast<size_t>(offered * 4.0));
     bench::PrintRow({"ByShard", bench::FmtInt(offered), bench::FmtInt(tps),
                      bench::Fmt(bench::MeanOf(sys.metrics().user_latencies_s))});
   }
@@ -113,11 +126,13 @@ int main(int argc, char** argv) {
     opt.block_tx_limit = 2000;
     opt.seed = 33;
     baselines::BlockeneSystem sys(opt);
-    sys.CreateAccounts(1'000'000, 1'000'000);
-    workload::WorkloadGenerator gen(
-        {.num_accounts = 1'000'000, .shard_bits = 0, .seed = 6});
+    sys.CreateAccounts(base_spec.num_accounts, 1'000'000);
+    workload::Spec spec = base_spec;
+    spec.shard_bits = 0;
+    spec.cross_shard_ratio = -1.0;  // Blockene is unsharded.
+    std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
     double tps = bench::DriveOpenLoopTps(
-        &sys, &gen, 10, static_cast<size_t>(offered * 7.0));
+        &sys, gen.get(), 10, static_cast<size_t>(offered * 7.0));
     bench::PrintRow({"Blockene", bench::FmtInt(offered), bench::FmtInt(tps),
                      bench::Fmt(bench::MeanOf(sys.metrics().user_latencies_s))});
   }
@@ -143,13 +158,12 @@ int main(int argc, char** argv) {
     opt.seed = 33;
     opt.worker_threads = threads;
     core::PorygonSystem sys(opt);
-    sys.CreateAccounts(1'000'000, 1'000'000);
-    workload::WorkloadGenerator gen({.num_accounts = 1'000'000,
-                                     .shard_bits = shard_bits,
-                                     .cross_shard_ratio = 0.1,
-                                     .seed = 6});
+    sys.CreateAccountsLazy(base_spec.num_accounts, 1'000'000);
+    workload::Spec spec = base_spec;
+    spec.shard_bits = shard_bits;
+    std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
     bench::WallTimer timer;
-    auto r = bench::RunOpenLoop(&sys, &gen, rounds, 8000.0,
+    auto r = bench::RunOpenLoop(&sys, gen.get(), rounds, 8000.0,
                                 /*est_round_s=*/5.0);
     const double wall_ms = timer.ElapsedMs();
     if (threads == 0) serial_ms = wall_ms;

@@ -3,11 +3,25 @@
 // blocks, so short sessions stall them into empty blocks; Porygon's EC
 // members serve only 3 rounds, so it degrades gracefully.
 
+#include <memory>
+
 #include "baselines/blockene.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace porygon;
+  bench::Args args;
+  if (Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  // Default traffic; --workload=<spec> swaps in any other model.
+  workload::Spec base_spec;
+  base_spec.num_accounts = 500'000;
+  base_spec.cross_shard_ratio = 0.1;
+  base_spec.seed = 8;
+  base_spec = args.WorkloadOr(base_spec);
+
   bench::PrintHeader(
       "Fig 8(d): throughput vs node participating time (Blockene's 50-block "
       "committees stall under churn; Porygon's 3-round ECs do not)");
@@ -31,14 +45,13 @@ int main() {
       opt.mean_session_s = session_s;
       opt.seed = 17;
       core::PorygonSystem sys(opt);
-      sys.CreateAccounts(500'000, 1'000'000);
-      workload::WorkloadGenerator gen({.num_accounts = 500'000,
-                                       .shard_bits = shard_bits,
-                                       .cross_shard_ratio = 0.1,
-                                       .seed = 8});
+      sys.CreateAccountsLazy(base_spec.num_accounts, 1'000'000);
+      workload::Spec spec = base_spec;
+      spec.shard_bits = shard_bits;
+      std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
       size_t per_round = opt.blocks_per_shard_round *
                          opt.params.block_tx_limit * size_t{1 << shard_bits};
-      porygon_tps = bench::RunSaturated(&sys, &gen, 10, per_round).tps;
+      porygon_tps = bench::RunSaturated(&sys, gen.get(), 10, per_round).tps;
     }
 
     double blockene_tps = 0;
@@ -52,10 +65,12 @@ int main() {
       opt.mean_session_s = session_s;
       opt.seed = 17;
       baselines::BlockeneSystem sys(opt);
-      sys.CreateAccounts(500'000, 1'000'000);
-      workload::WorkloadGenerator gen(
-          {.num_accounts = 500'000, .shard_bits = 0, .seed = 8});
-      blockene_tps = bench::DriveOpenLoopTps(&sys, &gen, 14, 2000);
+      sys.CreateAccounts(base_spec.num_accounts, 1'000'000);
+      workload::Spec spec = base_spec;
+      spec.shard_bits = 0;
+      spec.cross_shard_ratio = -1.0;  // Blockene is unsharded.
+      std::unique_ptr<workload::TrafficModel> gen = spec.BuildModel();
+      blockene_tps = bench::DriveOpenLoopTps(&sys, gen.get(), 14, 2000);
       blockene_empty = sys.metrics().empty_rounds;
     }
 

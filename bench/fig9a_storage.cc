@@ -53,9 +53,7 @@ int main() {
         byshard.SubmitTransaction(t);
       }
       byshard.Run(1);
-      for (const auto& t : pgen.Batch(1000 * (1 << shard_bits))) {
-        porygon.SubmitTransaction(t);
-      }
+      porygon.SubmitBatch(pgen.Batch(1000 * (1 << shard_bits)));
       porygon.Run(1);
     }
     uint64_t porygon_max = 0;

@@ -33,7 +33,7 @@ double RunPorygon(double mean_session_s) {
                                    .cross_shard_ratio = 0.1,
                                    .seed = 4});
   for (int r = 0; r < 12; ++r) {
-    for (const auto& t : gen.Batch(2000)) system.SubmitTransaction(t);
+    system.SubmitBatch(gen.Batch(2000));
     system.Run(1);
   }
   return system.metrics().Tps(system.sim_seconds());

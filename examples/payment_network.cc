@@ -3,17 +3,30 @@
 // Drives a sharded Porygon deployment with an open-loop transfer stream at
 // a configurable rate and reports sustained throughput and latency.
 //
-//   ./example_payment_network [offered_tps]
+//   ./example_payment_network [offered_tps] [--workload=<spec>]
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
+#include "bench_util.h"
 #include "core/system.h"
 #include "workload/generator.h"
 
 int main(int argc, char** argv) {
   using namespace porygon;
-  double offered_tps = argc > 1 ? std::atof(argv[1]) : 2000.0;
+  bench::Args args;
+  if (Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  double offered_tps = 2000.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) != 0) {
+      offered_tps = std::atof(argv[i]);
+      break;
+    }
+  }
 
   core::SystemOptions options;
   options.params.shard_bits = 3;  // 8 shards.
@@ -27,27 +40,29 @@ int main(int argc, char** argv) {
   options.seed = 7;
 
   core::PorygonSystem system(options);
-  const uint64_t kAccounts = 500'000;
-  system.CreateAccounts(kAccounts, 1'000'000);
 
   // Mostly-domestic payments: 10% cross-shard, mildly skewed senders.
-  workload::WorkloadGenerator generator({.num_accounts = kAccounts,
-                                         .shard_bits = 3,
-                                         .cross_shard_ratio = 0.1,
-                                         .zipf_s = 0.6,
-                                         .amount_min = 1,
-                                         .amount_max = 500,
-                                         .seed = 99});
+  // --workload=<spec> swaps in any other traffic model.
+  workload::Spec spec;
+  spec.num_accounts = 500'000;
+  spec.cross_shard_ratio = 0.1;
+  spec.zipf_s = 0.6;
+  spec.amount_max = 500;
+  spec.seed = 99;
+  spec = args.WorkloadOr(spec);
+  spec.shard_bits = options.params.shard_bits;
+  system.CreateAccountsLazy(spec.num_accounts, 1'000'000);
+  std::unique_ptr<workload::TrafficModel> generator = spec.BuildModel();
+  std::unique_ptr<workload::ArrivalProcess> arrival = spec.BuildArrival();
 
   std::printf("offering ~%.0f TPS to an 8-shard, 100-node deployment...\n",
               offered_tps);
   const int kRounds = 12;
   const double kEstRoundSeconds = 5.0;
   for (int r = 0; r < kRounds; ++r) {
-    size_t n = static_cast<size_t>(offered_tps * kEstRoundSeconds);
-    for (const auto& t : generator.Batch(n)) {
-      system.SubmitTransaction(t);
-    }
+    size_t n = arrival->CountFor(system.sim_seconds(), kEstRoundSeconds,
+                                 offered_tps);
+    system.SubmitBatch(generator->Batch(n));
     system.Run(1);
   }
 

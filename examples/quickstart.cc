@@ -6,6 +6,7 @@
 //   ./example_quickstart --trace-out=quickstart.trace.json
 //   ./example_quickstart --faults=loss:0.02,jitter:300,crash:0:6,recover:0:20
 //   ./example_quickstart --adversary=stateless:equivocate,alpha:0.25
+//   ./example_quickstart --workload=zipf:0.99,accounts:1000000
 //
 // The second form records sim-time lifecycle spans for the submitted
 // transactions and writes Chrome trace_event JSON — open the file at
@@ -26,8 +27,14 @@
 // execution results, censoring or tampering storage. Honest nodes detect
 // and reject the forgeries (core.rejected{reason} counters, equivocation
 // evidence) and commit the same chain a clean run of the seed commits.
+//
+// The fifth form replaces the two hand-written transfers with a generated
+// stream from any workload::Spec (grammar in workload/traffic.h): Zipfian
+// skew, flash crowds, contract-like calls — over lazily funded account
+// spaces, so accounts:1000000 starts instantly.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench_util.h"
@@ -37,9 +44,11 @@
 int main(int argc, char** argv) {
   using namespace porygon;
 
-  const std::string trace_path = bench::TraceOutArg(argc, argv);
-  const std::string fault_spec = bench::FaultsArg(argc, argv);
-  const std::string adversary_spec = bench::AdversaryArg(argc, argv);
+  bench::Args args;
+  if (Status parsed = args.Parse(argc, argv); !parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
 
   // 1. Configure a small deployment. Thresholds are scaled down to the
   // committee sizes a 26-node network can form.
@@ -52,80 +61,74 @@ int main(int argc, char** argv) {
   options.num_stateless_nodes = 26;
   options.oc_size = 4;
   options.seed = 7;
-  options.trace.enabled = !trace_path.empty();
 
-  if (!adversary_spec.empty()) {
-    Result<core::AdversarySpec> spec =
-        core::AdversarySpec::Parse(adversary_spec);
-    if (!spec.ok()) {
-      std::fprintf(stderr, "bad --adversary spec: %s\n",
-                   spec.status().ToString().c_str());
-      return 2;
-    }
-    Status valid_with = [&] {
-      core::SystemOptions probe = options;
-      probe.adversary = *spec;
-      return probe.Validate();
-    }();
-    if (!valid_with.ok()) {
-      std::fprintf(stderr, "bad --adversary spec: %s\n",
-                   valid_with.ToString().c_str());
-      return 2;
-    }
-    options.adversary = *spec;
+  if (Status applied = args.ApplyOptions(&options); !applied.ok()) {
+    std::fprintf(stderr, "bad --adversary spec: %s\n",
+                 applied.ToString().c_str());
+    return 2;
+  }
+  if (args.has_adversary()) {
     std::printf("adversary:    %s\n", options.adversary.ToString().c_str());
   }
 
   core::PorygonSystem system(options);
 
-  if (!fault_spec.empty()) {
-    Result<net::FaultPlan> plan = net::FaultPlan::Parse(fault_spec);
-    if (!plan.ok()) {
-      std::fprintf(stderr, "bad --faults spec: %s\n",
-                   plan.status().ToString().c_str());
-      return 2;
-    }
-    Status injected = system.InjectFaults(*plan);
-    if (!injected.ok()) {
-      std::fprintf(stderr, "fault injection failed: %s\n",
-                   injected.ToString().c_str());
-      return 2;
-    }
-    std::printf("faults:       %s\n", fault_spec.c_str());
+  if (Status injected = args.ApplyFaults(&system); !injected.ok()) {
+    std::fprintf(stderr, "fault injection failed: %s\n",
+                 injected.ToString().c_str());
+    return 2;
   }
 
-  // 2. Fund accounts. Account ids shard by their lowest bit here: even ids
-  // live in shard 0, odd ids in shard 1.
-  system.CreateAccounts(/*count=*/100, /*balance=*/10'000);
+  if (args.has_workload()) {
+    // Generated stream: fund the whole account space lazily (O(1) even for
+    // accounts:1000000) and drive a few saturated rounds from the model.
+    workload::Spec spec = args.WorkloadOr({});
+    spec.shard_bits = options.params.shard_bits;
+    std::printf("workload:     %s\n", spec.ToString().c_str());
+    system.CreateAccountsLazy(spec.num_accounts, /*balance=*/1'000'000);
+    std::unique_ptr<workload::TrafficModel> model = spec.BuildModel();
+    std::unique_ptr<workload::ArrivalProcess> arrival = spec.BuildArrival();
+    for (int r = 0; r < 10; ++r) {
+      const size_t n =
+          arrival->CountFor(system.sim_seconds(), /*len_s=*/1.0,
+                            /*base_tps=*/100.0);
+      system.SubmitBatch(model->Batch(n));
+      system.Run(1);
+    }
+  } else {
+    // 2. Fund accounts. Account ids shard by their lowest bit here: even
+    // ids live in shard 0, odd ids in shard 1.
+    system.CreateAccounts(/*count=*/100, /*balance=*/10'000);
 
-  // 3. Submit transfers: an intra-shard one (2 -> 4, both even) and a
-  // cross-shard one (6 -> 5, crossing into shard 1). Distinct senders: the
-  // OC gives cross-shard transactions priority, so an intra-shard transfer
-  // touching an account claimed by a same-round cross-shard transfer would
-  // be discarded as a conflict (§IV-D2).
-  tx::Transaction intra;
-  intra.from = 2;
-  intra.to = 4;
-  intra.amount = 250;
-  intra.nonce = 0;  // Client-side nonces are consecutive per sender.
-  Status accepted = system.SubmitTransaction(intra);
-  std::printf("submit intra: %s\n", accepted.ToString().c_str());
+    // 3. Submit transfers: an intra-shard one (2 -> 4, both even) and a
+    // cross-shard one (6 -> 5, crossing into shard 1). Distinct senders:
+    // the OC gives cross-shard transactions priority, so an intra-shard
+    // transfer touching an account claimed by a same-round cross-shard
+    // transfer would be discarded as a conflict (§IV-D2).
+    tx::Transaction intra;
+    intra.from = 2;
+    intra.to = 4;
+    intra.amount = 250;
+    intra.nonce = 0;  // Client-side nonces are consecutive per sender.
+    Status accepted = system.SubmitTransaction(intra);
+    std::printf("submit intra: %s\n", accepted.ToString().c_str());
 
-  // Resubmitting the same transfer is rejected up front.
-  std::printf("resubmit:     %s\n",
-              system.SubmitTransaction(intra).ToString().c_str());
+    // Resubmitting the same transfer is rejected up front.
+    std::printf("resubmit:     %s\n",
+                system.SubmitTransaction(intra).ToString().c_str());
 
-  tx::Transaction cross;
-  cross.from = 6;
-  cross.to = 5;
-  cross.amount = 100;
-  cross.nonce = 0;
-  system.SubmitTransaction(cross);
+    tx::Transaction cross;
+    cross.from = 6;
+    cross.to = 5;
+    cross.amount = 100;
+    cross.nonce = 0;
+    system.SubmitTransaction(cross);
 
-  // 4. Run the protocol. Intra-shard transactions commit 3 rounds after
-  // witnessing; cross-shard ones need 5 (Single-Shard Execution +
-  // Multi-Shard Update).
-  system.Run(/*rounds=*/10);
+    // 4. Run the protocol. Intra-shard transactions commit 3 rounds after
+    // witnessing; cross-shard ones need 5 (Single-Shard Execution +
+    // Multi-Shard Update).
+    system.Run(/*rounds=*/10);
+  }
 
   // 5. Inspect the results.
   const core::SystemMetrics m = system.metrics();
@@ -138,7 +141,7 @@ int main(int argc, char** argv) {
   std::printf("replay mismatches:       %lu (0 = all roots verified)\n",
               static_cast<unsigned long>(m.replay_mismatches()));
 
-  if (!fault_spec.empty()) {
+  if (args.has_faults()) {
     auto counter = [&](const char* name) {
       const obs::Counter* c = m.registry()->FindCounter(name, {});
       return static_cast<unsigned long>(c == nullptr ? 0 : c->value());
@@ -151,7 +154,7 @@ int main(int argc, char** argv) {
                 counter("core.storage_rejoins"));
   }
 
-  if (!adversary_spec.empty()) {
+  if (args.has_adversary()) {
     std::printf("adversarial actions:     %lu\n",
                 static_cast<unsigned long>(system.adversary()->actions()));
     std::printf("misbehavior evidence:    %lu\n",
@@ -160,24 +163,36 @@ int main(int argc, char** argv) {
                 system.equivocation_evidence().size());
   }
 
-  const state::ShardedState& st = system.canonical_state();
-  std::printf("account 2 balance: %lu (sent 250)\n",
-              static_cast<unsigned long>(st.GetOrDefault(2).balance));
-  std::printf("account 4 balance: %lu (received 250)\n",
-              static_cast<unsigned long>(st.GetOrDefault(4).balance));
-  std::printf("account 6 balance: %lu (sent 100 cross-shard)\n",
-              static_cast<unsigned long>(st.GetOrDefault(6).balance));
-  std::printf("account 5 balance: %lu (received 100 cross-shard)\n",
-              static_cast<unsigned long>(st.GetOrDefault(5).balance));
+  if (args.has_workload()) {
+    std::printf("committed txs:           %lu\n",
+                static_cast<unsigned long>(m.committed_txs()));
+    std::printf("conflict discards:       %lu\n",
+                static_cast<unsigned long>(m.discarded_txs()));
+    std::printf("accounts materialized:   %zu (of %lu declared)\n",
+                system.canonical_state().TotalAccountCount(),
+                static_cast<unsigned long>(
+                    system.canonical_state().implicit_max_id()));
+  } else {
+    const state::ShardedState& st = system.canonical_state();
+    std::printf("account 2 balance: %lu (sent 250)\n",
+                static_cast<unsigned long>(st.GetOrDefault(2).balance));
+    std::printf("account 4 balance: %lu (received 250)\n",
+                static_cast<unsigned long>(st.GetOrDefault(4).balance));
+    std::printf("account 6 balance: %lu (sent 100 cross-shard)\n",
+                static_cast<unsigned long>(st.GetOrDefault(6).balance));
+    std::printf("account 5 balance: %lu (received 100 cross-shard)\n",
+                static_cast<unsigned long>(st.GetOrDefault(5).balance));
+  }
 
   std::printf("chain height: %zu, tip state root: %s\n",
               system.chain().size() - 1,
               crypto::HashToHex(system.chain().back().state_root).c_str());
 
   // 6. Optional: export the distributed trace for Perfetto.
-  if (!trace_path.empty() && bench::WriteTraceJson(&system, trace_path)) {
+  if (!args.trace_out().empty() &&
+      bench::WriteTraceJson(&system, args.trace_out())) {
     std::printf("trace: %s (%zu spans; open at https://ui.perfetto.dev)\n",
-                trace_path.c_str(), system.tracer()->span_count());
+                args.trace_out().c_str(), system.tracer()->span_count());
   }
   return 0;
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the scenario matrix plus the fig8c
+# throughput/latency sweep and writes BENCH_<n>.json at the repo root,
+# where <n> is one past the highest committed snapshot. If a previous
+# snapshot exists, every matrix cell's simulated throughput is compared
+# against it and the script FAILS LOUD on any cell regressing more than
+# 20% — the perf trajectory is append-only and monotone-ish by
+# construction.
+#
+#   scripts/bench_snapshot.sh             # uses build/ (configures if needed)
+#   BUILD_DIR=build-foo scripts/bench_snapshot.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
+
+# Next snapshot index: one past the highest BENCH_<n>.json present.
+n=1
+prev=""
+for f in BENCH_*.json; do
+  [[ -e "$f" ]] || continue
+  idx="${f#BENCH_}"
+  idx="${idx%.json}"
+  [[ "$idx" =~ ^[0-9]+$ ]] || continue
+  if (( idx >= n )); then
+    n=$((idx + 1))
+    prev="$f"
+  fi
+done
+out="BENCH_${n}.json"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== scenario matrix =="
+"$BUILD_DIR"/bench/scenario_matrix --out="$tmp/matrix.json"
+
+echo "== fig8c throughput/latency =="
+"$BUILD_DIR"/bench/fig8c_throughput_latency "$tmp/fig8c.json"
+
+python3 - "$tmp/matrix.json" "$tmp/fig8c.json" "$out" "$prev" <<'PY'
+import json, sys
+
+matrix_path, fig8c_path, out_path, prev_path = sys.argv[1:5]
+matrix = json.load(open(matrix_path))
+fig8c = json.load(open(fig8c_path))
+
+snapshot = {
+    "schema": 1,
+    "scenario_matrix": matrix["rows"],
+    "fig8c": fig8c,
+    "bench": {"matrix_wall_ms": matrix["bench"]["wall_ms"]},
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=1, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(matrix['rows'])} scenario rows)")
+
+if not prev_path:
+    sys.exit(0)
+
+prev = json.load(open(prev_path))
+def key(row):
+    return (row["workload"], row["faults"], row["adversary"])
+old = {key(r): r for r in prev.get("scenario_matrix", [])}
+regressions = []
+for row in matrix["rows"]:
+    base = old.get(key(row))
+    if base is None or base["tps"] <= 0:
+        continue
+    if row["tps"] < 0.8 * base["tps"]:
+        regressions.append(
+            f"  {key(row)}: tps {base['tps']:.1f} -> {row['tps']:.1f} "
+            f"({100 * (1 - row['tps'] / base['tps']):.0f}% drop)")
+if regressions:
+    print(f"PERF REGRESSION vs {prev_path} (>20% tps drop):",
+          file=sys.stderr)
+    print("\n".join(regressions), file=sys.stderr)
+    sys.exit(1)
+print(f"no cell regressed >20% vs {prev_path}")
+PY

@@ -25,6 +25,14 @@ run_suite() {
   # Adversary suite, likewise: chain identity and evidence collection under
   # every Byzantine strategy at the paper's alpha/beta bounds.
   ctest --test-dir "$dir" -R Adversary --output-on-failure
+  # Workload suite: traffic-model determinism, Zipf sanity, scenario rows.
+  ctest --test-dir "$dir" -R Workload --output-on-failure
+  # Scenario-matrix smoke cell: one small million-account cell end-to-end
+  # through the real binary (spec parsing, lazy funding, JSON export).
+  "$dir"/bench/scenario_matrix --rounds=2 --tps=200 \
+    --workload=zipf:0.99,accounts:1000000 \
+    --out="$dir"/scenario_smoke.json >/dev/null
+  grep -q '"committed_txs":' "$dir"/scenario_smoke.json
 }
 
 echo "== plain build + ctest =="

@@ -97,35 +97,39 @@ Bytes Rng::NextBytes(size_t n) {
 
 uint64_t Rng::NextZipf(uint64_t n, double s) {
   if (n <= 1 || s <= 0.0) return NextBelow(n == 0 ? 1 : n);
-  // Rejection-inversion sampling (Hormann & Derflinger). For s == 1 the
-  // integral H uses the log form.
-  auto h_integral = [s](double x) -> double {
-    const double log_x = std::log(x);
-    if (std::abs(s - 1.0) < 1e-12) return log_x;
-    return std::exp((1.0 - s) * log_x) / (1.0 - s);
+  // Rejection-inversion sampling (Hormann & Derflinger 1996). The helpers
+  // expm1(x)/x and log1p(x)/x stay well-conditioned through s == 1, where
+  // the integral H degenerates to the log form.
+  auto helper_expm1 = [](double x) -> double {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x * 0.5;
   };
-  auto h_integral_inverse = [s](double x) -> double {
-    if (std::abs(s - 1.0) < 1e-12) return std::exp(x);
+  auto helper_log1p = [](double x) -> double {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x * 0.5;
+  };
+  // H(x) = ((x^(1-s)) - 1) / (1 - s), continuous at s == 1 (-> ln x).
+  auto h_integral = [&](double x) -> double {
+    const double log_x = std::log(x);
+    return helper_expm1((1.0 - s) * log_x) * log_x;
+  };
+  // H^{-1}(x) = exp(log1p(t)/(1-s)) with t = x*(1-s).
+  auto h_integral_inverse = [&](double x) -> double {
     double t = x * (1.0 - s);
     if (t < -1.0) t = -1.0;
-    return std::exp(std::log1p(t) / (1.0 - s));
+    return std::exp(helper_log1p(t) * x);
   };
   auto h = [s](double x) { return std::exp(-s * std::log(x)); };
 
   const double h_x1 = h_integral(1.5) - 1.0;
   const double h_n = h_integral(static_cast<double>(n) + 0.5);
-  const double inv_s = 1.0 / (1.0 - s) * (std::abs(s - 1.0) < 1e-12 ? 0 : 1);
-  (void)inv_s;
+  const double threshold = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
   while (true) {
     double u = h_n + NextDouble() * (h_x1 - h_n);
     double x = h_integral_inverse(u);
-    uint64_t k = static_cast<uint64_t>(x + 0.5);
-    if (k < 1) k = 1;
-    if (k > n) k = n;
-    double kd = static_cast<double>(k);
-    if (kd - x <= 0.5 ||
-        u >= h_integral(kd + 0.5) - h(kd)) {
-      return k - 1;
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n)) kd = static_cast<double>(n);
+    if (kd - x <= threshold || u >= h_integral(kd + 0.5) - h(kd)) {
+      return static_cast<uint64_t>(kd) - 1;
     }
   }
 }

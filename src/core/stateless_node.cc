@@ -687,6 +687,11 @@ void StatelessNodeActor::RunExecution() {
     // and execute locally (true stateless execution).
     state::PartialState partial(system_->params().shard_bits, req.shard,
                                 req.shard_root);
+    // Implicit (lazily funded) accounts are genesis config every node
+    // knows; mirroring the declaration keeps faithful execution
+    // byte-identical to the canonical fast path.
+    partial.SetImplicitAccounts(system_->canonical_state().implicit_max_id(),
+                                system_->canonical_state().implicit_balance());
     if (exec_task_->state.has_value()) {
       const StateResponse& sr = *exec_task_->state;
       for (size_t i = 0; i < sr.entries.size(); ++i) {

@@ -508,16 +508,23 @@ void PorygonSystem::CreateAccounts(uint64_t count, uint64_t balance) {
   next_account_hint_ += count;
 }
 
-Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
+void PorygonSystem::CreateAccountsLazy(uint64_t count, uint64_t balance) {
+  // O(1): record the declaration on the canonical state; stateless nodes
+  // mirror it into their proof-built PartialState each Execution Phase (the
+  // declaration is part of genesis config, not per-round state). Leaves
+  // materialize on first write, so roots and absence proofs for untouched
+  // ids are identical to a freshly created state.
+  exec_state_->SetImplicitAccounts(count, balance);
+  if (next_account_hint_ <= count) next_account_hint_ = count + 1;
+}
+
+Status PorygonSystem::AdmitStamped(const tx::Transaction& t) {
   if (t.from == 0 || t.to == 0) {
-    obs_.rejected_invalid->Increment();
     return Status::InvalidArgument("transaction endpoints must be non-zero");
   }
   if (t.from == t.to) {
-    obs_.rejected_invalid->Increment();
     return Status::InvalidArgument("self-transfers are not allowed");
   }
-  t.submitted_at = static_cast<uint64_t>(events_.now());
   // Deterministic home storage node by tx id; clients talk to storage
   // directly (client-side bandwidth is out of the model). A crashed home is
   // skipped the way a real client would retry the next endpoint: advance
@@ -531,16 +538,58 @@ Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
     ++probed;
   }
   if (probed == n) {
-    obs_.rejected_unavailable->Increment();
     return Status::Unavailable("all storage nodes are down");
   }
   if (!storage_nodes_[home]->pool_.Add(t)) {
-    obs_.rejected_duplicate->Increment();
     return Status::AlreadyExists("duplicate transaction");
   }
-  obs_.submitted_txs->Increment();
   if (tracer_.enabled()) TraceSubmit(t);
   return Status::Ok();
+}
+
+Status PorygonSystem::SubmitTransaction(tx::Transaction t) {
+  t.submitted_at = static_cast<uint64_t>(events_.now());
+  Status s = AdmitStamped(t);
+  switch (s.code()) {
+    case StatusCode::kOk:
+      obs_.submitted_txs->Increment();
+      break;
+    case StatusCode::kAlreadyExists:
+      obs_.rejected_duplicate->Increment();
+      break;
+    case StatusCode::kUnavailable:
+      obs_.rejected_unavailable->Increment();
+      break;
+    default:
+      obs_.rejected_invalid->Increment();
+      break;
+  }
+  return s;
+}
+
+std::vector<Status> PorygonSystem::SubmitBatch(
+    const std::vector<tx::Transaction>& batch) {
+  std::vector<Status> statuses;
+  statuses.reserve(batch.size());
+  const uint64_t now = static_cast<uint64_t>(events_.now());
+  uint64_t admitted = 0, duplicate = 0, unavailable = 0, invalid = 0;
+  for (tx::Transaction t : batch) {
+    t.submitted_at = now;
+    Status s = AdmitStamped(t);
+    switch (s.code()) {
+      case StatusCode::kOk: ++admitted; break;
+      case StatusCode::kAlreadyExists: ++duplicate; break;
+      case StatusCode::kUnavailable: ++unavailable; break;
+      default: ++invalid; break;
+    }
+    statuses.push_back(std::move(s));
+  }
+  // One metrics flush for the whole batch.
+  if (admitted) obs_.submitted_txs->Add(admitted);
+  if (duplicate) obs_.rejected_duplicate->Add(duplicate);
+  if (unavailable) obs_.rejected_unavailable->Add(unavailable);
+  if (invalid) obs_.rejected_invalid->Add(invalid);
+  return statuses;
 }
 
 void PorygonSystem::RecordEquivocationEvidence(

@@ -435,11 +435,24 @@ class PorygonSystem {
   /// Creates `count` funded accounts (balance each) spread over shards.
   void CreateAccounts(uint64_t count, uint64_t balance);
 
+  /// Declares ids [1, count] funded with `balance` without materializing
+  /// any Merkle leaves: O(1), so million-account benches start instantly.
+  /// An account's leaf appears on its first write; reads of untouched ids
+  /// see the declared balance through every state view (canonical and the
+  /// stateless nodes' proof-built partial views alike, so faithful
+  /// execution stays byte-identical to the fast path). Call once, before
+  /// Run(); ids above `next account hint` are reserved like CreateAccounts.
+  void CreateAccountsLazy(uint64_t count, uint64_t balance);
+
   /// Client-submits a transaction to a deterministic storage node at the
   /// current virtual time. Returns kInvalidArgument for malformed
   /// transactions (missing endpoints, self-transfers) and kAlreadyExists
   /// for mempool duplicates.
   Status SubmitTransaction(tx::Transaction t);
+
+  /// Submits a batch with one timestamp read and one metrics flush for the
+  /// whole vector; statuses[i] is SubmitTransaction's status for batch[i].
+  std::vector<Status> SubmitBatch(const std::vector<tx::Transaction>& batch);
 
   /// Starts the protocol (genesis block, first round) and runs until
   /// `rounds` proposal blocks have committed (or `max_sim_time` passes).
@@ -586,6 +599,9 @@ class PorygonSystem {
   };
   /// Round-lane context: spans parented under the open "round" span.
   obs::TraceContext RoundLane(uint64_t round);
+  /// Admission core shared by SubmitTransaction/SubmitBatch: `t` is already
+  /// stamped; touches no counters (callers aggregate per call/batch).
+  Status AdmitStamped(const tx::Transaction& t);
   void TraceSubmit(const tx::Transaction& t);
   void TraceTxPackaged(const tx::Transaction& t, const std::string& node);
   void TraceBlockWitnessed(const tx::BlockId& block_id,

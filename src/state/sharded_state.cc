@@ -34,7 +34,7 @@ Result<Account> ShardedState::GetAccount(AccountId id) const {
 
 Account ShardedState::GetOrDefault(AccountId id) const {
   auto r = GetAccount(id);
-  return r.ok() ? *r : Account{};
+  return r.ok() ? *r : DefaultFor(id);
 }
 
 Hash256 ShardedState::ShardRoot(uint32_t shard) const {

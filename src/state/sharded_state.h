@@ -36,8 +36,9 @@ class ShardedState : public StateView {
   void DeleteAccount(AccountId id);
   /// Reads an account; NotFound if absent.
   Result<Account> GetAccount(AccountId id) const;
-  /// Reads an account, defaulting to a zero account when absent (transfers
-  /// to fresh accounts create them).
+  /// Reads an account, defaulting when absent: a zero account (transfers to
+  /// fresh accounts create them), or the declared implicit balance for ids
+  /// covered by SetImplicitAccounts.
   Account GetOrDefault(AccountId id) const override;
 
   /// Root of one shard's subtree.

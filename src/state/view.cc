@@ -40,12 +40,12 @@ Account PartialState::GetOrDefault(AccountId id) const {
     auto ov = own_overlay_.find(id);
     if (ov != own_overlay_.end()) return ov->second;
     auto raw = partial_.Get(id);
-    if (!raw.ok()) return Account{};
+    if (!raw.ok()) return DefaultFor(id);
     auto decoded = DecodeAccount(*raw);
-    return decoded.ok() ? *decoded : Account{};
+    return decoded.ok() ? *decoded : DefaultFor(id);
   }
   auto it = foreign_.find(id);
-  return it != foreign_.end() ? it->second : Account{};
+  return it != foreign_.end() ? it->second : DefaultFor(id);
 }
 
 void PartialState::PutAccountBatch(

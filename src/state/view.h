@@ -23,6 +23,32 @@ class StateView {
   virtual void PutAccountBatch(
       uint32_t shard, const std::vector<std::pair<AccountId, Account>>& ws) = 0;
   virtual crypto::Hash256 ShardRoot(uint32_t shard) const = 0;
+
+  /// Declares ids [1, max_id] implicitly funded with `balance`: GetOrDefault
+  /// reports that balance for absent ids in range, but no leaf exists until
+  /// an id is first written — Merkle roots, membership/absence proofs, and
+  /// GetAccount (NotFound) are unchanged for untouched accounts. Every view
+  /// of the same state must carry the same declaration or roots diverge on
+  /// first touch.
+  void SetImplicitAccounts(uint64_t max_id, uint64_t balance) {
+    implicit_max_id_ = max_id;
+    implicit_balance_ = balance;
+  }
+  uint64_t implicit_max_id() const { return implicit_max_id_; }
+  uint64_t implicit_balance() const { return implicit_balance_; }
+
+ protected:
+  /// The value GetOrDefault yields for an id with no materialized leaf.
+  Account DefaultFor(AccountId id) const {
+    if (id >= 1 && id <= implicit_max_id_) {
+      return Account{implicit_balance_, 0};
+    }
+    return Account{};
+  }
+
+ private:
+  uint64_t implicit_max_id_ = 0;
+  uint64_t implicit_balance_ = 0;
 };
 
 /// A stateless ESC member's materialized view for one Execution Phase:

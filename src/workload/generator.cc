@@ -1,5 +1,7 @@
 #include "workload/generator.h"
 
+#include <cstdio>
+
 namespace porygon::workload {
 
 WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
@@ -42,11 +44,23 @@ tx::Transaction WorkloadGenerator::Next() {
   return t;
 }
 
-std::vector<tx::Transaction> WorkloadGenerator::Batch(size_t n) {
-  std::vector<tx::Transaction> out;
-  out.reserve(n);
-  for (size_t i = 0; i < n; ++i) out.push_back(Next());
-  return out;
+std::string WorkloadGenerator::Describe() const {
+  std::string s = "{\"model\":\"uniform\",\"accounts\":" +
+                  std::to_string(options_.num_accounts);
+  if (options_.cross_shard_ratio >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", options_.cross_shard_ratio);
+    s += ",\"cross\":";
+    s += buf;
+  }
+  if (options_.zipf_s > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", options_.zipf_s);
+    s += ",\"s\":";
+    s += buf;
+  }
+  s += ",\"seed\":" + std::to_string(options_.seed) + "}";
+  return s;
 }
 
 }  // namespace porygon::workload

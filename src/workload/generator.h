@@ -1,12 +1,14 @@
 #ifndef PORYGON_WORKLOAD_GENERATOR_H_
 #define PORYGON_WORKLOAD_GENERATOR_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
 #include "state/account.h"
 #include "tx/transaction.h"
+#include "workload/traffic.h"
 
 namespace porygon::workload {
 
@@ -30,17 +32,18 @@ struct WorkloadOptions {
 
 /// Deterministic transfer generator with client-side nonce tracking, so
 /// generated sequences are executable (nonces are consecutive per sender).
-/// Account ids are 1..num_accounts — fund them via CreateAccounts before
-/// running.
-class WorkloadGenerator {
+/// Account ids are 1..num_accounts — fund them via CreateAccounts (or
+/// lazily via CreateAccountsLazy) before running.
+///
+/// This is the `uniform` TrafficModel: Spec::BuildModel constructs it for
+/// back-compat, and its stream is byte-identical to the pre-TrafficModel
+/// generator for the same options.
+class WorkloadGenerator : public TrafficModel {
  public:
   explicit WorkloadGenerator(const WorkloadOptions& options);
 
-  /// Next transaction (submitted_at is stamped by the target system).
-  tx::Transaction Next();
-
-  /// Convenience: `n` transactions.
-  std::vector<tx::Transaction> Batch(size_t n);
+  tx::Transaction Next() override;
+  std::string Describe() const override;
 
   const WorkloadOptions& options() const { return options_; }
 

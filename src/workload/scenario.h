@@ -1,0 +1,56 @@
+#ifndef PORYGON_WORKLOAD_SCENARIO_H_
+#define PORYGON_WORKLOAD_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace porygon::workload {
+
+/// One cell of the scenario matrix: a workload spec crossed with optional
+/// fault-injection and adversary specs. Each spec uses its subsystem's
+/// clause grammar (workload::Spec, net::FaultPlan, core::AdversarySpec);
+/// empty means "none".
+struct ScenarioCell {
+  std::string workload;
+  std::string faults;
+  std::string adversary;
+};
+
+/// Deployment shape and load shared by every cell of one matrix run.
+struct ScenarioOptions {
+  int shard_bits = 2;
+  int num_storage_nodes = 2;
+  int num_stateless_nodes = 40;
+  int oc_size = 8;
+  int block_tx_limit = 1000;
+  int rounds = 6;
+  double offered_tps = 800.0;
+  double est_round_s = 5.0;
+  uint64_t system_seed = 21;
+  uint64_t account_balance = 1'000'000;
+  /// Compute-pool workers (0 = serial; PORYGON_THREADS still overrides).
+  /// Rows must be byte-identical across values of this knob.
+  int worker_threads = 0;
+};
+
+/// Runs one cell against a fresh deployment and returns its JSON row:
+/// the three canonical specs, the model/arrival self-descriptions, and the
+/// sim-derived results (throughput, p50/p95/p99 user latency, conflict
+/// discards, per-reason rejection counters, adversary evidence). Rows
+/// contain no wall-clock or thread-count values, so a cell is
+/// byte-identical for a given seed at any PORYGON_THREADS — the property
+/// scenario-matrix thread-invariance tests pin.
+/// Fails (kInvalidArgument) if any spec does not parse or the adversary is
+/// infeasible for the deployment shape.
+Result<std::string> RunScenarioCell(const ScenarioCell& cell,
+                                    const ScenarioOptions& opt);
+
+/// The default sweep: every workload family crossed with clean / faulty /
+/// adversarial operation (>= 9 cells).
+std::vector<ScenarioCell> DefaultScenarioMatrix();
+
+}  // namespace porygon::workload
+
+#endif  // PORYGON_WORKLOAD_SCENARIO_H_
