@@ -148,7 +148,8 @@ inline double MeanOf(const std::vector<double>& xs) {
   return sum / static_cast<double>(xs.size());
 }
 
-/// Headline numbers for one Porygon run, read off the metrics facade.
+/// Headline numbers for one Porygon run, read off the metrics facade and
+/// the critical-path analyzer.
 struct RunSummary {
   double tps = 0;
   double block_latency_s = 0;
@@ -156,6 +157,17 @@ struct RunSummary {
   double user_latency_s = 0;
   double user_latency_p99_s = 0;
   uint64_t committed_txs = 0;
+  /// Most frequent dominant latency segment / bottleneck edge across the
+  /// run's round reports (e.g. "downlink_queue" / "oc_leader.downlink").
+  std::string dominant_segment;
+  std::string dominant_edge;
+  /// Mean busy-time fraction of the OC leader's downlink per round window
+  /// (0..1) — the fan-in bottleneck ROADMAP item 1 targets.
+  double oc_downlink_util = 0;
+  /// Per-message queueing delay (seconds) on uplinks / downlinks:
+  /// p50/p95/p99 of net.queue_delay_seconds.
+  obs::HistogramSummary queue_delay_up_s;
+  obs::HistogramSummary queue_delay_down_s;
 };
 
 /// Reads the headline numbers for a finished run from the system's
@@ -169,6 +181,19 @@ inline RunSummary Summarize(const core::PorygonSystem& sys) {
   out.user_latency_s = m.UserLatency().mean;
   out.user_latency_p99_s = m.UserLatency().p99;
   out.committed_txs = m.committed_txs();
+  const obs::CriticalPathAnalyzer& cp = sys.critical_path();
+  out.dominant_segment = cp.DominantSegmentMode();
+  out.dominant_edge = cp.DominantEdgeMode();
+  out.oc_downlink_util = cp.MeanUtilization("oc_leader.downlink");
+  const obs::MetricsRegistry& reg = sys.metrics_registry();
+  if (const obs::Histogram* h =
+          reg.FindHistogram("net.queue_delay_seconds", {{"dir", "up"}})) {
+    out.queue_delay_up_s = h->Summary();
+  }
+  if (const obs::Histogram* h =
+          reg.FindHistogram("net.queue_delay_seconds", {{"dir", "down"}})) {
+    out.queue_delay_down_s = h->Summary();
+  }
   return out;
 }
 
@@ -255,9 +280,11 @@ struct BenchStamp {
 /// Dumps the system's full metrics registry as JSON to `path` (stdout on
 /// failure is silent: benches treat the export as best-effort). With a
 /// `stamp`, the registry JSON is wrapped in an envelope carrying the
-/// wall-clock provenance: {"bench": {...}, "metrics": {...}}. Only the
-/// envelope's bench block varies run-to-run; the metrics block stays
-/// byte-identical for a given seed and config at any thread count.
+/// wall-clock provenance plus the run's critical-path attribution:
+/// {"bench": {...}, "critical_path": {...}, "metrics": {...}}. Only the
+/// envelope's bench block varies run-to-run; the critical_path and
+/// metrics blocks are sim-derived and stay byte-identical for a given
+/// seed and config at any thread count.
 inline bool WriteMetricsJson(const core::PorygonSystem& sys,
                              const std::string& path,
                              const BenchStamp* stamp = nullptr) {
@@ -268,19 +295,39 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
     char head[256];
     if (stamp->adversary_spec.empty()) {
       std::snprintf(head, sizeof(head),
-                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n"
-                    "\"metrics\":",
+                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n",
                     stamp->wall_ms, stamp->worker_threads);
     } else {
       std::snprintf(head, sizeof(head),
                     "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d,"
-                    "\"adversary\":\"%s\",\"evidence\":%llu},\n"
-                    "\"metrics\":",
+                    "\"adversary\":\"%s\",\"evidence\":%llu},\n",
                     stamp->wall_ms, stamp->worker_threads,
                     stamp->adversary_spec.c_str(),
                     static_cast<unsigned long long>(stamp->adversary_evidence));
     }
-    json = std::string(head) + json + "}";
+    const obs::CriticalPathAnalyzer& cp = sys.critical_path();
+    const auto triple = [&sys](const char* dir) {
+      obs::HistogramSummary q;
+      if (const obs::Histogram* h = sys.metrics_registry().FindHistogram(
+              "net.queue_delay_seconds", {{"dir", dir}})) {
+        q = h->Summary();
+      }
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g}", q.p50, q.p95,
+                    q.p99);
+      return std::string(buf);
+    };
+    char cp_head[128];
+    std::snprintf(cp_head, sizeof(cp_head), "\"oc_downlink_util\":%.6g",
+                  cp.MeanUtilization("oc_leader.downlink"));
+    const std::string cp_block =
+        "\"critical_path\":{\"dominant_segment\":\"" +
+        cp.DominantSegmentMode() + "\",\"dominant_edge\":\"" +
+        cp.DominantEdgeMode() + "\"," + cp_head +
+        ",\"queue_delay_s\":{\"up\":" + triple("up") +
+        ",\"down\":" + triple("down") + "}},\n";
+    json = std::string(head) + cp_block + "\"metrics\":" + json + "}";
   }
   size_t written = std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);

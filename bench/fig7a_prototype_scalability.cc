@@ -14,8 +14,10 @@ int main() {
   bench::PrintHeader(
       "Fig 7(a): Porygon prototype scalability (paper: 7,240->21,090 TPS; "
       "block 4.5->4.7 s; commit ~13 s; user 20->21 s)");
+  // The critical-path columns diagnose the fan-in flattening (ROADMAP
+  // item 1): at 32 shards the dominant edge is the OC leader's downlink.
   bench::PrintRow({"shards", "nodes", "TPS", "block_lat_s", "commit_lat_s",
-                   "user_lat_s"});
+                   "user_lat_s", "dominant_edge", "oc_dl_util"});
 
   for (int shard_bits : {3, 4, 5}) {
     const int shards = 1 << shard_bits;
@@ -47,7 +49,8 @@ int main() {
     bench::PrintRow({std::to_string(shards), std::to_string(nodes),
                      bench::FmtInt(r.tps), bench::Fmt(r.block_latency_s),
                      bench::Fmt(r.commit_latency_s),
-                     bench::Fmt(r.user_latency_s)});
+                     bench::Fmt(r.user_latency_s), r.dominant_edge,
+                     bench::Fmt(r.oc_downlink_util, 3)});
   }
   return 0;
 }

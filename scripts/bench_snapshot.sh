@@ -48,6 +48,19 @@ matrix_path, fig8c_path, out_path, prev_path = sys.argv[1:5]
 matrix = json.load(open(matrix_path))
 fig8c = json.load(open(fig8c_path))
 
+# Critical-path attribution fields are part of the snapshot contract: every
+# matrix row must carry the dominant segment/edge, the OC-leader downlink
+# utilization, and per-direction queue-delay percentiles.
+for row in matrix["rows"]:
+    for field in ("dominant_segment", "dominant_edge", "oc_downlink_util",
+                  "queue_delay_s"):
+        if field not in row:
+            sys.exit(f"matrix row {row.get('workload')!r} missing {field!r}")
+    for direction in ("up", "down"):
+        if direction not in row["queue_delay_s"]:
+            sys.exit(f"matrix row {row.get('workload')!r} missing "
+                     f"queue_delay_s[{direction!r}]")
+
 snapshot = {
     "schema": 1,
     "scenario_matrix": matrix["rows"],

@@ -27,6 +27,10 @@ run_suite() {
   ctest --test-dir "$dir" -R Adversary --output-on-failure
   # Workload suite: traffic-model determinism, Zipf sanity, scenario rows.
   ctest --test-dir "$dir" -R Workload --output-on-failure
+  # Critical-path suite: bandwidth-ledger queue/busy accounting, dominant
+  # edge attribution, thread-invariant round reports, and the
+  # trace-sampling timing invariant.
+  ctest --test-dir "$dir" -R CriticalPath --output-on-failure
   # Scenario-matrix smoke cell: one small million-account cell end-to-end
   # through the real binary (spec parsing, lazy funding, JSON export).
   "$dir"/bench/scenario_matrix --rounds=2 --tps=200 \
@@ -54,7 +58,7 @@ if [[ "${PORYGON_SKIP_SANITIZERS:-0}" != "1" ]]; then
   PORYGON_THREADS=4 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db|Adversary'
+      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db|Adversary|CriticalPath'
 fi
 
 echo "check.sh: all suites passed"

@@ -463,6 +463,19 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
 
   leader_net_id_ = stateless_nodes_[leader_idx]->net_id();
 
+  // Bandwidth-ledger roles, before any traffic flows: the OC leader's
+  // links are where the fan-in bottleneck lives (ROADMAP item 1), so it
+  // gets its own role; storage and non-OC stateless keep their class
+  // names. Roles refine the net.* counter labels and name the link
+  // windows the critical-path analyzer attributes ("oc_leader.downlink").
+  for (net::NodeId nid : oc_net_ids_) {
+    network_->SetNodeRole(nid, nid == leader_net_id_ ? "oc_leader" : "oc");
+  }
+  // Propagation segment: base one-way latency times the store-and-forward
+  // hops on the commit chain (round start -> block -> witness upload ->
+  // bundle relay x2 -> proposal relay x2 -> vote -> commit).
+  critical_path_.SetPropagationModel(options_.params.latency_us, 8);
+
   genesis_.height = 0;
   genesis_.round = 0;
   genesis_.shard_tx_blocks.assign(options_.params.shard_count(), {});
@@ -713,6 +726,19 @@ void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
 
 void PorygonSystem::StartRound(uint64_t round) {
   round_start_times_[round] = events_.now();
+  critical_path_.BeginRound(round, events_.now());
+  // Snapshot the bandwidth ledger so the commit can difference the window,
+  // and re-base the windowed high-watermarks (event-queue depth, per-role
+  // in-flight) to this round.
+  {
+    std::vector<net::LinkActivity> baseline(network_->node_count());
+    for (net::NodeId n = 0; n < network_->node_count(); ++n) {
+      baseline[n] = network_->ActivityFor(n);
+    }
+    window_baseline_[round] = std::move(baseline);
+  }
+  events_.ResetDepthHighWatermark();
+  network_->ResetInflightHighWatermarks();
   if (tracer_.enabled()) {
     // Open this round's lane: a "round" span covering start -> commit, with
     // the witness phase as its first child (closed by RecordWitnessReached).
@@ -777,6 +803,30 @@ void PorygonSystem::OnBlockCommitted(const tx::ProposalBlock& block,
   if (auto rs = round_spans_.find(block.round); rs != round_spans_.end()) {
     tracer_.EndSpan(rs->second);
     round_spans_.erase(rs);
+  }
+
+  // Critical-path decomposition: difference the ledger against the
+  // round-start snapshot, attribute the window, publish utilizations.
+  if (auto base = window_baseline_.find(block.round);
+      base != window_baseline_.end()) {
+    const obs::RoundReport* report = critical_path_.CommitRound(
+        block.round, when, LinkWindowsSince(base->second));
+    window_baseline_.erase(base);
+    if (report != nullptr) {
+      for (size_t i = 0; i < report->links.size(); ++i) {
+        const uint32_t util_pm = report->link_util_pm[i];
+        UtilGauge(report->links[i].link)->Set(static_cast<double>(util_pm));
+        if (tracer_.enabled()) {
+          tracer_.RecordCounterSample("util_pm." + report->links[i].link,
+                                      static_cast<int64_t>(util_pm));
+        }
+      }
+    }
+  }
+  // Bound memory: drop snapshots of rounds that will never commit in order.
+  while (!window_baseline_.empty() &&
+         window_baseline_.begin()->first + 8 < block.round) {
+    window_baseline_.erase(window_baseline_.begin());
   }
 
   // Replay verification: committed roots must match the canonical replay
@@ -971,10 +1021,67 @@ size_t PorygonSystem::RegisteredEcMembers(uint64_t round) const {
   return n;
 }
 
+std::vector<obs::LinkWindow> PorygonSystem::LinkWindowsSince(
+    const std::vector<net::LinkActivity>& baseline) const {
+  // One window per role and direction, carrying the per-node mean of that
+  // role. The mean — not the max — is the committee's representative link:
+  // quorum thresholds mask straggling members, and max-of-N inflates
+  // multi-node roles by pure order statistics, which would let a random
+  // committee member outrank the leader's structurally identical link.
+  // Singleton roles (oc_leader) pass through exactly. Integer division
+  // keeps the windows byte-deterministic.
+  struct RoleSum {
+    obs::LinkWindow sum;
+    uint64_t nodes = 0;
+  };
+  std::map<std::string, RoleSum> sums;
+  const auto add = [&sums](obs::LinkWindow lw) {
+    RoleSum& rs = sums[lw.link];
+    rs.sum.link = lw.link;
+    rs.sum.bytes += lw.bytes;
+    rs.sum.queue_us += lw.queue_us;
+    rs.sum.busy_us += lw.busy_us;
+    ++rs.nodes;
+  };
+  const size_t n = std::min(baseline.size(), network_->node_count());
+  for (net::NodeId nid = 0; nid < n; ++nid) {
+    const net::LinkActivity& cur = network_->ActivityFor(nid);
+    const net::LinkActivity& base = baseline[nid];
+    const std::string& role = network_->RoleName(nid);
+    add(obs::LinkWindow{role + ".uplink", cur.bytes_up - base.bytes_up,
+                        cur.queue_up_us - base.queue_up_us,
+                        cur.busy_up_us - base.busy_up_us});
+    add(obs::LinkWindow{role + ".downlink", cur.bytes_down - base.bytes_down,
+                        cur.queue_down_us - base.queue_down_us,
+                        cur.busy_down_us - base.busy_down_us});
+  }
+  std::vector<obs::LinkWindow> out;
+  out.reserve(sums.size());
+  for (auto& [link, rs] : sums) {
+    (void)link;
+    obs::LinkWindow lw = std::move(rs.sum);
+    lw.bytes /= rs.nodes;
+    lw.queue_us /= static_cast<net::SimTime>(rs.nodes);
+    lw.busy_us /= static_cast<net::SimTime>(rs.nodes);
+    out.push_back(std::move(lw));
+  }
+  return out;
+}
+
+obs::Gauge* PorygonSystem::UtilGauge(const std::string& link) {
+  auto it = util_gauges_.find(link);
+  if (it != util_gauges_.end()) return it->second;
+  obs::Gauge* g = metrics_registry_.GetGauge("net.link_utilization_pm",
+                                             {{"link", link}});
+  util_gauges_.emplace(link, g);
+  return g;
+}
+
 void PorygonSystem::RecordWitnessReached(uint64_t batch_round) {
   // One sample per batch round: the first block of the batch to cross Tw
   // marks the end of the witness phase for that round.
   if (!witness_recorded_.insert(batch_round).second) return;
+  critical_path_.MarkWitnessEnd(batch_round, events_.now());
   if (auto ws = witness_spans_.find(batch_round); ws != witness_spans_.end()) {
     tracer_.EndSpan(ws->second);
     witness_spans_.erase(ws);
@@ -993,6 +1100,7 @@ void PorygonSystem::RecordWitnessReached(uint64_t batch_round) {
 void PorygonSystem::RecordOrderingDecision(uint64_t round) {
   if (decision_times_.count(round) > 0) return;
   decision_times_[round] = events_.now();
+  critical_path_.MarkDecision(round, events_.now());
   auto started = round_start_times_.find(round);
   if (started != round_start_times_.end()) {
     obs_.phase_ordering->Observe(
@@ -1011,6 +1119,7 @@ void PorygonSystem::NoteExecPhaseStart(uint64_t exec_round) {
       exec_round,
       obs::PhaseTimer(obs_.phase_execution,
                       [this] { return sim_seconds(); }));
+  critical_path_.MarkExecStart(exec_round, events_.now());
   if (tracer_.enabled() && exec_spans_.count(exec_round) == 0) {
     exec_spans_[exec_round] =
         tracer_.BeginSpan(RoundLane(exec_round), "execution", "system");
@@ -1020,6 +1129,7 @@ void PorygonSystem::NoteExecPhaseStart(uint64_t exec_round) {
 void PorygonSystem::NoteExecPhaseEnd(uint64_t exec_round) {
   auto it = exec_timers_.find(exec_round);
   if (it == exec_timers_.end()) return;
+  critical_path_.MarkExecEnd(exec_round, events_.now());
   it->second.Stop();
   exec_timers_.erase(it);
   if (auto es = exec_spans_.find(exec_round); es != exec_spans_.end()) {

@@ -22,6 +22,7 @@
 #include "core/pipeline.h"
 #include "crypto/provider.h"
 #include "net/network.h"
+#include "obs/critical_path.h"
 #include "obs/metrics.h"
 #include "runtime/task_pool.h"
 #include "state/sharded_state.h"
@@ -484,6 +485,14 @@ class PorygonSystem {
   /// trace of the sampled transactions and the per-round pipeline lanes.
   obs::Tracer* tracer() { return &tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  /// Per-round commit-latency decompositions over the bandwidth ledger
+  /// (always on — pure sim-time arithmetic). One RoundReport per committed
+  /// round: latency segments, the dominant edge (e.g. "oc_leader.downlink")
+  /// with its utilization share, and per-role link windows. Byte-identical
+  /// JSON for a given seed at any thread count.
+  const obs::CriticalPathAnalyzer& critical_path() const {
+    return critical_path_;
+  }
   const std::vector<tx::ProposalBlock>& chain() const { return chain_; }
   const state::ShardedState& canonical_state() const { return *exec_state_; }
   net::SimNetwork* network() { return network_.get(); }
@@ -670,6 +679,17 @@ class PorygonSystem {
     consensus::BaStar::Instruments consensus;
   };
 
+  // --- Critical-path analysis --------------------------------------------
+  // The bandwidth-ledger side of the analyzer: StartRound snapshots every
+  // node's cumulative net::LinkActivity; OnBlockCommitted differences the
+  // snapshots into per-role LinkWindows (keeping the busiest node per role
+  // and direction — the critical path runs through the worst link), feeds
+  // CommitRound, and publishes the per-link utilization as windowed
+  // net.link_utilization_pm gauges plus Perfetto counter-track samples.
+  std::vector<obs::LinkWindow> LinkWindowsSince(
+      const std::vector<net::LinkActivity>& baseline) const;
+  obs::Gauge* UtilGauge(const std::string& link);
+
   // --- Round driving -----------------------------------------------------
   void StartRound(uint64_t round);
   void MaybeScheduleNextRound();
@@ -714,6 +734,10 @@ class PorygonSystem {
   std::set<uint64_t> witness_recorded_;  // Batch rounds with a Tw sample.
   std::map<uint64_t, net::SimTime> decision_times_;
   std::map<uint64_t, obs::PhaseTimer> exec_timers_;
+  obs::CriticalPathAnalyzer critical_path_;
+  // Ledger snapshots at round start (differenced at commit), by round.
+  std::map<uint64_t, std::vector<net::LinkActivity>> window_baseline_;
+  std::map<std::string, obs::Gauge*> util_gauges_;  // By link name.
   net::EventQueue events_;
   std::unique_ptr<net::SimNetwork> network_;
   // Owns the active FaultPlan's hook into network_; declared after it so

@@ -7,17 +7,33 @@ namespace porygon::net {
 void EventQueue::EnableMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     depth_gauge_ = nullptr;
+    depth_hwm_gauge_ = nullptr;
     drained_counter_ = nullptr;
     return;
   }
   depth_gauge_ = registry->GetGauge("sim.event_queue_depth");
+  depth_hwm_gauge_ = registry->GetGauge("sim.event_queue_depth_hwm");
   drained_counter_ = registry->GetCounter("sim.events_drained");
   depth_gauge_->Set(static_cast<double>(queue_.size()));
+  depth_hwm_gauge_->Set(static_cast<double>(depth_hwm_));
+}
+
+void EventQueue::ResetDepthHighWatermark() {
+  depth_hwm_ = queue_.size();
+  if (depth_hwm_gauge_ != nullptr) {
+    depth_hwm_gauge_->Set(static_cast<double>(depth_hwm_));
+  }
 }
 
 void EventQueue::ScheduleAt(SimTime t, std::function<void()> fn) {
   if (t < now_) t = now_;
   queue_.push(Event{t, next_sequence_++, std::move(fn)});
+  if (queue_.size() > depth_hwm_) {
+    depth_hwm_ = queue_.size();
+    if (depth_hwm_gauge_ != nullptr) {
+      depth_hwm_gauge_->Set(static_cast<double>(depth_hwm_));
+    }
+  }
   if (depth_gauge_ != nullptr) {
     depth_gauge_->Set(static_cast<double>(queue_.size()));
   }

@@ -24,9 +24,18 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Mirrors scheduler activity into `registry`: the sim.event_queue_depth
-  /// gauge (pending events after every push/pop) and the sim.events_drained
-  /// counter (events executed). Passing nullptr disables mirroring.
+  /// gauge (pending events after every push/pop), the
+  /// sim.event_queue_depth_hwm gauge (deepest the queue has been since the
+  /// last ResetDepthHighWatermark — the round driver resets it per round),
+  /// and the sim.events_drained counter (events executed). Passing nullptr
+  /// disables mirroring.
   void EnableMetrics(obs::MetricsRegistry* registry);
+
+  /// Deepest the queue has been since the last reset (tracked with or
+  /// without metrics mirroring).
+  size_t depth_high_watermark() const { return depth_hwm_; }
+  /// Re-bases the high-watermark to the current depth (windowed gauges).
+  void ResetDepthHighWatermark();
 
   /// Schedules `fn` to run at absolute time `t` (clamped to now).
   void ScheduleAt(SimTime t, std::function<void()> fn);
@@ -61,8 +70,10 @@ class EventQueue {
 
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
+  size_t depth_hwm_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   obs::Gauge* depth_gauge_ = nullptr;
+  obs::Gauge* depth_hwm_gauge_ = nullptr;
   obs::Counter* drained_counter_ = nullptr;
 };
 

@@ -31,8 +31,12 @@ struct Message {
   Bytes payload;            ///< Decoded by the receiving actor.
   size_t wire_size = 0;     ///< Bytes charged to links (>= payload size).
   /// Distributed-tracing context carried with the message (the simulated
-  /// analogue of a trace header). Not charged to the bandwidth model; an
-  /// inactive context (the default) means the message is untraced.
+  /// analogue of a trace header). Not charged to the bandwidth model — the
+  /// Relay wire tail that materializes it on storage hops is subtracted
+  /// from the charged size at the sender — so enabling trace sampling
+  /// leaves every departure/delivery time byte-identical (pinned by
+  /// CriticalPathTest.TraceSamplingLeavesTimingByteIdentical). An inactive
+  /// context (the default) means the message is untraced.
   obs::TraceContext trace;
 };
 
@@ -57,6 +61,27 @@ struct TrafficStats {
   /// byte-identical across platforms and runs.
   std::vector<std::pair<uint16_t, uint64_t>> SortedSentByKind() const;
   std::vector<std::pair<uint16_t, uint64_t>> SortedReceivedByKind() const;
+};
+
+/// Cumulative per-node link ledger: bytes moved, plus *queueing delay*
+/// (time a transmission waited for `uplink_free_at` / `downlink_free_at`)
+/// accounted separately from *busy time* (the serialization time the link
+/// spent actually transmitting). All integer sim-time microseconds, so
+/// window deltas are byte-deterministic for any thread count. Uplink
+/// entries are charged when the send is admitted; downlink entries when
+/// the message reserves the receiver's downlink (arrival), whether or not
+/// the final delivery still finds the receiver alive — the ledger tracks
+/// link occupancy, not application receipt (TrafficStats tracks the
+/// latter, at delivery).
+struct LinkActivity {
+  uint64_t bytes_up = 0;
+  uint64_t bytes_down = 0;
+  uint64_t msgs_up = 0;
+  uint64_t msgs_down = 0;
+  SimTime queue_up_us = 0;   ///< Total time sends waited on a busy uplink.
+  SimTime queue_down_us = 0; ///< Total time arrivals waited on the downlink.
+  SimTime busy_up_us = 0;    ///< Total uplink transmission (serialization).
+  SimTime busy_down_us = 0;  ///< Total downlink transmission.
 };
 
 /// What a fault hook decided for one message (see SimNetwork::SetFaultHook):
@@ -89,12 +114,27 @@ class SimNetwork {
 
   /// Registers a node and returns its id. `node_class` groups nodes for
   /// metrics breakdowns (e.g. "storage" vs "stateless"); it is a label on
-  /// the exported series, not part of routing.
+  /// the exported series, not part of routing. The node's *role* (the
+  /// finer-grained label the bandwidth ledger aggregates by) defaults to
+  /// the class; refine it with SetNodeRole.
   NodeId AddNode(const LinkSpec& link, const std::string& node_class = "node");
+
+  /// Refines a node's role label (e.g. "oc_leader" within class
+  /// "stateless"). Roles drive the per-role counter series and the
+  /// in-flight high-watermark gauges; call before any traffic flows so
+  /// every byte of a series is attributed to one role.
+  void SetNodeRole(NodeId node, const std::string& role);
+  const std::string& RoleName(NodeId node) const {
+    return roles_[nodes_[node].role_idx];
+  }
 
   /// Mirrors traffic accounting into `registry` as net.sent_bytes /
   /// net.recv_bytes / net.sent_messages / net.recv_messages counters
-  /// labelled {class, kind, phase}, plus net.dropped_messages labelled by
+  /// labelled {class, role, kind, phase}, queueing-vs-transmission
+  /// counters (net.uplink_queue_us / net.uplink_busy_us /
+  /// net.downlink_queue_us / net.downlink_busy_us, same labels),
+  /// net.queue_delay_seconds histograms labelled {dir}, per-role
+  /// net.inflight_hwm gauges, plus net.dropped_messages labelled by
   /// {reason} (sender_crashed, receiver_crashed, drop_filter,
   /// fault_injected). The
   /// `kind_name` / `phase_name` callbacks translate raw message kinds to
@@ -126,12 +166,26 @@ class SimNetwork {
   const TrafficStats& StatsFor(NodeId node) const {
     return nodes_[node].stats;
   }
+  /// Cumulative link ledger for one node; window readers (the per-round
+  /// critical-path analyzer) snapshot this and difference snapshots.
+  const LinkActivity& ActivityFor(NodeId node) const {
+    return nodes_[node].activity;
+  }
   size_t node_count() const { return nodes_.size(); }
   EventQueue* events() { return events_; }
   SimTime now() const { return events_->now(); }
 
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// In-flight messages currently bound for nodes of `role` (sent, not yet
+  /// delivered or dropped) and the high-watermark since the last reset.
+  uint64_t InflightFor(const std::string& role) const;
+  uint64_t InflightHwmFor(const std::string& role) const;
+  /// Re-bases every role's in-flight high-watermark to the current
+  /// in-flight level (round-windowed gauges: the round driver calls this
+  /// at each round start) and refreshes the net.inflight_hwm gauges.
+  void ResetInflightHighWatermarks();
 
  private:
   struct NodeState {
@@ -141,19 +195,29 @@ class SimNetwork {
     SimTime uplink_free_at = 0;
     SimTime downlink_free_at = 0;
     TrafficStats stats;
+    LinkActivity activity;
     uint32_t class_idx = 0;
+    uint32_t role_idx = 0;
   };
 
-  /// Registry counters for one (node class, message kind) pair, resolved
+  /// Registry counters for one (node role, message kind) pair, resolved
   /// once and cached so the per-message cost is a map probe + increments.
   struct KindCounters {
     obs::Counter* sent_bytes = nullptr;
     obs::Counter* recv_bytes = nullptr;
     obs::Counter* sent_messages = nullptr;
     obs::Counter* recv_messages = nullptr;
+    obs::Counter* uplink_queue_us = nullptr;
+    obs::Counter* uplink_busy_us = nullptr;
+    obs::Counter* downlink_queue_us = nullptr;
+    obs::Counter* downlink_busy_us = nullptr;
   };
 
-  KindCounters& CountersFor(uint32_t class_idx, uint16_t kind);
+  KindCounters& CountersFor(const NodeState& node, uint16_t kind);
+  uint32_t InternRole(const std::string& role);
+  /// Gauge for one role's in-flight high-watermark, cached per role.
+  obs::Gauge* InflightGauge(uint32_t role_idx);
+  void NoteInflight(uint32_t role_idx, int64_t delta);
 
   /// One-copy transmission (uplink/latency/downlink modeling); `Send` calls
   /// it once, or twice when the fault hook asked for duplication.
@@ -165,6 +229,10 @@ class SimNetwork {
   Rng rng_;
   std::vector<NodeState> nodes_;
   std::vector<std::string> classes_;
+  std::vector<std::string> roles_;
+  std::vector<uint64_t> inflight_;      // Per role, currently in flight.
+  std::vector<uint64_t> inflight_hwm_;  // Per role, since last reset.
+  std::vector<obs::Gauge*> inflight_gauges_;  // Per role (lazy, nullable).
   DropFilter drop_filter_;
   FaultHook fault_hook_;
   SimTime latency_base_ = FromMillis(0.5);  // Paper: 0.5 ms node<->storage.
@@ -182,6 +250,8 @@ class SimNetwork {
   obs::Counter* dropped_filter_ = nullptr;
   obs::Counter* dropped_fault_ = nullptr;
   obs::Counter* delivered_counter_ = nullptr;
+  obs::Histogram* queue_up_hist_ = nullptr;
+  obs::Histogram* queue_down_hist_ = nullptr;
   std::unordered_map<uint32_t, KindCounters> counter_cache_;
 };
 

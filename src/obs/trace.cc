@@ -123,6 +123,16 @@ uint64_t Tracer::RecordSpan(const TraceContext& ctx, const char* name,
   return spans_.back().span_id;
 }
 
+void Tracer::RecordCounterSample(const std::string& track, int64_t value) {
+  if (!enabled_) return;
+  if (spans_.size() + open_.size() + counter_samples_.size() >=
+      options_.max_spans) {
+    ++dropped_spans_;
+    return;
+  }
+  counter_samples_.push_back(CounterSample{track, now(), value});
+}
+
 std::string Tracer::ExportChromeJson() const {
   // Canonical event order: (trace, start, span id). Span ids are assigned in
   // event order, which is deterministic for a deterministic simulation, so
@@ -210,6 +220,32 @@ std::string Tracer::ExportChromeJson() const {
     }
     out += ",\"args\":{\"span\":" + FormatU64(s->span_id) +
            ",\"parent\":" + FormatU64(s->parent_span) + "}}";
+  }
+  // Counter tracks: one "C" event per sample under the "counters" process.
+  // Canonical (track, time, recording index) order; values are integers by
+  // the RecordCounterSample contract, so the bytes stay deterministic.
+  if (!counter_samples_.empty()) {
+    std::vector<size_t> order(counter_samples_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      const CounterSample& ca = counter_samples_[a];
+      const CounterSample& cb = counter_samples_[b];
+      if (ca.track != cb.track) return ca.track < cb.track;
+      if (ca.t != cb.t) return ca.t < cb.t;
+      return a < b;
+    });
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           FormatU64(kCounterTraceId) +
+           ",\"tid\":0,\"args\":{\"name\":\"counters\"}}";
+    for (size_t i : order) {
+      const CounterSample& c = counter_samples_[i];
+      comma();
+      out += "{\"ph\":\"C\",\"name\":\"" + JsonEscape(c.track) +
+             "\",\"pid\":" + FormatU64(kCounterTraceId) +
+             ",\"tid\":0,\"ts\":" + FormatI64(c.t) +
+             ",\"args\":{\"value\":" + FormatI64(c.value) + "}}";
+    }
   }
   out += first ? "]}\n" : "\n]}\n";
   return out;

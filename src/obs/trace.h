@@ -125,8 +125,27 @@ class Tracer {
     return RecordSpan(ctx, name, node, t, t);
   }
 
+  /// Records one sample of a named counter track at the current sim time
+  /// (exported as a Chrome "C" event under the "counters" process, which
+  /// Perfetto renders as a stepped graph). Values are integers by contract
+  /// — callers quantize (e.g. per-mille utilization) so the export stays
+  /// float-free and byte-deterministic. No-op when disabled; samples share
+  /// the max_spans budget (overflow counts into dropped_spans()).
+  void RecordCounterSample(const std::string& track, int64_t value);
+
+  /// One counter-track sample (see RecordCounterSample).
+  struct CounterSample {
+    std::string track;
+    net::SimTime t = 0;
+    int64_t value = 0;
+  };
+
   /// Finished spans, in recording order. Open spans are not included.
   const std::vector<Span>& spans() const { return spans_; }
+  /// Counter samples, in recording order.
+  const std::vector<CounterSample>& counter_samples() const {
+    return counter_samples_;
+  }
   size_t span_count() const { return spans_.size(); }
   uint64_t dropped_spans() const { return dropped_spans_; }
   /// Transaction traces allocated so far (<= sample_transactions).
@@ -148,6 +167,8 @@ class Tracer {
   static constexpr uint64_t kFaultTraceId = 2'000'000'000;
   /// Fixed id of the adversary lane, above the fault lane.
   static constexpr uint64_t kAdversaryTraceId = 3'000'000'000;
+  /// Fixed id (pid) of the counter-track process, above every lane.
+  static constexpr uint64_t kCounterTraceId = 4'000'000'000;
 
  private:
   struct OpenSpan {
@@ -165,6 +186,7 @@ class Tracer {
   uint64_t next_span_ = 0;
   uint64_t dropped_spans_ = 0;
   std::vector<Span> spans_;
+  std::vector<CounterSample> counter_samples_;
   std::unordered_map<uint64_t, OpenSpan> open_;
 };
 

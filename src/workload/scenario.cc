@@ -102,6 +102,26 @@ Result<std::string> RunScenarioCell(const ScenarioCell& cell,
   row += ",\"replay_mismatches\":" + U(m.replay_mismatches());
   row += ",\"evidence\":" +
          U(cell.adversary.empty() ? 0 : sys.adversary()->evidence());
+  // Critical-path attribution: the run's modal dominant segment/edge, the
+  // OC-leader downlink utilization, and per-direction queue-delay
+  // percentiles — all sim-derived, byte-identical per seed at any thread
+  // count like every other field in the row.
+  const obs::CriticalPathAnalyzer& cp = sys.critical_path();
+  row += ",\"dominant_segment\":\"" + cp.DominantSegmentMode() + "\"";
+  row += ",\"dominant_edge\":\"" + cp.DominantEdgeMode() + "\"";
+  row += ",\"oc_downlink_util\":" +
+         F(cp.MeanUtilization("oc_leader.downlink"));
+  const auto queue_triple = [&reg](const char* dir) {
+    obs::HistogramSummary q;
+    if (const obs::Histogram* h =
+            reg.FindHistogram("net.queue_delay_seconds", {{"dir", dir}})) {
+      q = h->Summary();
+    }
+    return "{\"p50\":" + F(q.p50) + ",\"p95\":" + F(q.p95) +
+           ",\"p99\":" + F(q.p99) + "}";
+  };
+  row += ",\"queue_delay_s\":{\"up\":" + queue_triple("up") +
+         ",\"down\":" + queue_triple("down") + "}";
   row += "}";
   return row;
 }
