@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "core/system.h"
+#include "net/dissemination.h"
 #include "net/fault.h"
+#include "net/topology.h"
 #include "workload/generator.h"
 #include "workload/traffic.h"
 
@@ -22,10 +24,11 @@ namespace porygon::bench {
 /// One CLI parser for every bench/example binary. The cross-cutting spec
 /// flags are accepted uniformly everywhere:
 ///
-///   --workload=<spec>   workload::Spec::Parse clause grammar
-///   --faults=<spec>     net::FaultPlan::Parse clause grammar
-///   --adversary=<spec>  core::AdversarySpec::Parse clause grammar
-///   --trace-out=<file>  enable tracing, export Chrome JSON after the run
+///   --workload=<spec>       workload::Spec::Parse clause grammar
+///   --faults=<spec>         net::FaultPlan::Parse clause grammar
+///   --adversary=<spec>      core::AdversarySpec::Parse clause grammar
+///   --dissemination=<spec>  net::DisseminationSpec::Parse clause grammar
+///   --trace-out=<file>      enable tracing, export Chrome JSON after run
 ///
 /// Per-binary flags are declared with Declare("--rounds=") before Parse and
 /// read back with Value(). Specs are validated eagerly, so a typo fails at
@@ -50,6 +53,9 @@ class Args {
       } else if (Match(arg, "--adversary=", &value)) {
         PORYGON_ASSIGN_OR_RETURN(adversary_,
                                  core::AdversarySpec::Parse(value));
+      } else if (Match(arg, "--dissemination=", &value)) {
+        PORYGON_ASSIGN_OR_RETURN(dissemination_,
+                                 net::DisseminationSpec::Parse(value));
       } else if (Match(arg, "--trace-out=", &value)) {
         trace_out_ = value;
       } else if (!MatchDeclared(arg)) {
@@ -66,6 +72,11 @@ class Args {
   }
   bool has_faults() const { return faults_.has_value(); }
   bool has_adversary() const { return adversary_.has_value(); }
+  bool has_dissemination() const { return dissemination_.has_value(); }
+  /// The parsed --dissemination spec; `direct` when the flag was absent.
+  net::DisseminationSpec Dissemination() const {
+    return dissemination_.value_or(net::DisseminationSpec{});
+  }
   const std::string& trace_out() const { return trace_out_; }
 
   /// Value of a declared per-binary flag; empty when absent.
@@ -81,6 +92,10 @@ class Args {
   /// corruption above the committee threshold) fails before construction.
   Status ApplyOptions(core::SystemOptions* options) const {
     if (!trace_out_.empty()) options->trace.enabled = true;
+    if (dissemination_.has_value()) {
+      options->dissemination = *dissemination_;
+      PORYGON_RETURN_IF_ERROR(options->Validate());
+    }
     if (adversary_.has_value()) {
       options->adversary = *adversary_;
       PORYGON_RETURN_IF_ERROR(options->Validate());
@@ -117,8 +132,33 @@ class Args {
   std::optional<workload::Spec> workload_;
   std::optional<net::FaultPlan> faults_;
   std::optional<core::AdversarySpec> adversary_;
+  std::optional<net::DisseminationSpec> dissemination_;
   std::string trace_out_;
 };
+
+/// The standard scaled deployment every figure driver was hand-rolling:
+/// `1 << shard_bits` shards at `nodes_per_shard` stateless nodes each over
+/// a two-node storage tier, thresholds 2/2, 2000-tx blocks, two blocks per
+/// shard round, seed 42. Drivers override individual fields after the call.
+inline core::SystemOptions ScaledOptions(int shard_bits,
+                                         int nodes_per_shard = 10) {
+  const net::Topology topo = net::Topology::Scaled(shard_bits,
+                                                   nodes_per_shard);
+  core::SystemOptions opt;
+  opt.params.shard_bits = shard_bits;
+  opt.params.witness_threshold = 2;
+  opt.params.execution_threshold = 2;
+  opt.params.block_tx_limit = 2000;
+  opt.params.storage_connections = 2;
+  opt.params.storage_bps = topo.storage_bps();
+  opt.params.stateless_bps = topo.stateless_bps();
+  opt.num_storage_nodes = topo.storage_nodes();
+  opt.num_stateless_nodes = topo.stateless_nodes();
+  opt.oc_size = 10;
+  opt.blocks_per_shard_round = 2;
+  opt.seed = 42;
+  return opt;
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -275,6 +315,9 @@ struct BenchStamp {
   int worker_threads = 0;
   std::string adversary_spec;
   uint64_t adversary_evidence = 0;
+  /// Canonical `--dissemination=` spec of the run (empty = default direct),
+  /// so an archived JSON names the message-flow strategy it measured.
+  std::string dissemination_spec;
 };
 
 /// Dumps the system's full metrics registry as JSON to `path` (stdout on
@@ -292,19 +335,19 @@ inline bool WriteMetricsJson(const core::PorygonSystem& sys,
   if (f == nullptr) return false;
   std::string json = sys.metrics().ToJson();
   if (stamp != nullptr) {
-    char head[256];
-    if (stamp->adversary_spec.empty()) {
-      std::snprintf(head, sizeof(head),
-                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d},\n",
-                    stamp->wall_ms, stamp->worker_threads);
-    } else {
-      std::snprintf(head, sizeof(head),
-                    "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d,"
-                    "\"adversary\":\"%s\",\"evidence\":%llu},\n",
-                    stamp->wall_ms, stamp->worker_threads,
-                    stamp->adversary_spec.c_str(),
-                    static_cast<unsigned long long>(stamp->adversary_evidence));
+    char head[384];
+    std::string extra;
+    if (!stamp->adversary_spec.empty()) {
+      extra += ",\"adversary\":\"" + stamp->adversary_spec +
+               "\",\"evidence\":" +
+               std::to_string(stamp->adversary_evidence);
     }
+    if (!stamp->dissemination_spec.empty()) {
+      extra += ",\"dissemination\":\"" + stamp->dissemination_spec + "\"";
+    }
+    std::snprintf(head, sizeof(head),
+                  "{\"bench\":{\"wall_ms\":%.3f,\"worker_threads\":%d%s},\n",
+                  stamp->wall_ms, stamp->worker_threads, extra.c_str());
     const obs::CriticalPathAnalyzer& cp = sys.critical_path();
     const auto triple = [&sys](const char* dir) {
       obs::HistogramSummary q;

@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
       const std::string arg = argv[i];
       if (arg.rfind("--faults=", 0) == 0) cell.faults = arg.substr(9);
       if (arg.rfind("--adversary=", 0) == 0) cell.adversary = arg.substr(12);
+      if (arg.rfind("--dissemination=", 0) == 0) {
+        cell.dissemination = arg.substr(16);
+      }
     }
     cells.push_back(cell);
   } else {

@@ -53,7 +53,7 @@ fig8c = json.load(open(fig8c_path))
 # utilization, and per-direction queue-delay percentiles.
 for row in matrix["rows"]:
     for field in ("dominant_segment", "dominant_edge", "oc_downlink_util",
-                  "queue_delay_s"):
+                  "queue_delay_s", "dissemination"):
         if field not in row:
             sys.exit(f"matrix row {row.get('workload')!r} missing {field!r}")
     for direction in ("up", "down"):
@@ -77,7 +77,10 @@ if not prev_path:
 
 prev = json.load(open(prev_path))
 def key(row):
-    return (row["workload"], row["faults"], row["adversary"])
+    # Older snapshots predate the dissemination column; their rows all ran
+    # the direct star.
+    return (row["workload"], row["faults"], row["adversary"],
+            row.get("dissemination", "direct"))
 old = {key(r): r for r in prev.get("scenario_matrix", [])}
 regressions = []
 for row in matrix["rows"]:

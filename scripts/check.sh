@@ -31,6 +31,9 @@ run_suite() {
   # edge attribution, thread-invariant round reports, and the
   # trace-sampling timing invariant.
   ctest --test-dir "$dir" -R CriticalPath --output-on-failure
+  # Dissemination suite: spec grammar, erasure k-of-n round trips,
+  # tree-vs-direct safety, and Byzantine/crashed relay degradation.
+  ctest --test-dir "$dir" -R 'Dissemination|Erasure' --output-on-failure
   # Scenario-matrix smoke cell: one small million-account cell end-to-end
   # through the real binary (spec parsing, lazy funding, JSON export).
   "$dir"/bench/scenario_matrix --rounds=2 --tps=200 \
@@ -58,7 +61,7 @@ if [[ "${PORYGON_SKIP_SANITIZERS:-0}" != "1" ]]; then
   PORYGON_THREADS=4 \
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan --output-on-failure \
-      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db|Adversary|CriticalPath'
+      -R 'TaskPool|VerifyBatch|ThreadInvariance|SystemIntegration|StorageDb|Db|Adversary|CriticalPath|Dissemination'
 fi
 
 echo "check.sh: all suites passed"

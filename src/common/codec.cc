@@ -95,6 +95,18 @@ Result<Bytes> Decoder::GetFixed(size_t n) {
   return out;
 }
 
+Result<ByteView> Decoder::GetBytesView() {
+  PORYGON_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  return GetFixedView(n);
+}
+
+Result<ByteView> Decoder::GetFixedView(size_t n) {
+  if (data_.size() < n) return Status::Corruption("truncated byte block");
+  ByteView out(data_.data(), n);
+  data_.RemovePrefix(n);
+  return out;
+}
+
 Result<std::string> Decoder::GetString() {
   PORYGON_ASSIGN_OR_RETURN(Bytes b, GetBytes());
   return std::string(b.begin(), b.end());

@@ -54,6 +54,11 @@ class Decoder {
   Result<Bytes> GetBytes();
   /// Reads exactly `n` raw bytes.
   Result<Bytes> GetFixed(size_t n);
+  /// Borrowed-buffer variants: the returned view aliases the input buffer
+  /// (valid only while it lives), so relay/forward paths can re-encode or
+  /// hash nested payloads without copying them first.
+  Result<ByteView> GetBytesView();
+  Result<ByteView> GetFixedView(size_t n);
   Result<std::string> GetString();
   Result<bool> GetBool();
 

@@ -103,8 +103,26 @@ class Reader {
   Reader& Blob(Bytes* out) { return Apply(out, dec_.GetBytes()); }
   Reader& Str(std::string* out) { return Apply(out, dec_.GetString()); }
 
+  /// Borrowed-buffer variant of Blob: the view aliases the Reader's input,
+  /// so nested payloads (relay-forwarded bodies, bundled sub-messages) can
+  /// be decoded or re-hashed without an intermediate copy.
+  Reader& BlobView(ByteView* out) { return Apply(out, dec_.GetBytesView()); }
+
+  /// Borrowed-buffer variant of a fixed-width field (no length prefix).
+  Reader& FixedView(size_t n, ByteView* out) {
+    return Apply(out, dec_.GetFixedView(n));
+  }
+
   /// Consumes every remaining byte (pre-encoded trailers).
   Reader& Rest(Bytes* out) { return Apply(out, dec_.GetFixed(dec_.remaining())); }
+  /// Borrowed-buffer variant of Rest.
+  Reader& RestView(ByteView* out) {
+    return Apply(out, dec_.GetFixedView(dec_.remaining()));
+  }
+
+  /// Escape hatch to the underlying Decoder for streamed sub-decodes
+  /// (e.g. Transaction::DecodeFrom in block bodies).
+  Decoder* decoder() { return &dec_; }
 
   /// The first decode error, or Corruption when input remains unconsumed.
   /// `what` names the message for the trailing-bytes diagnostic.

@@ -155,6 +155,8 @@ AdversaryController::AdversaryController(AdversarySpec spec,
   // meaningful statement.
   evidence_equivocation_ =
       registry->GetCounter("adversary.evidence", {{"type", "equivocation"}});
+  evidence_relay_equivocation_ = registry->GetCounter(
+      "adversary.evidence", {{"type", "relay_equivocation"}});
   evidence_divergent_exec_ = registry->GetCounter(
       "adversary.evidence", {{"type", "divergent_exec_result"}});
   if (spec_.stateless != AdvStrategy::kHonest) {
@@ -252,9 +254,12 @@ void AdversaryController::NoteAction(AdvStrategy strategy, const char* what,
 void AdversaryController::NoteEvidence(const char* type,
                                        const std::string& node) {
   ++evidence_;
-  obs::Counter* counter = std::strcmp(type, "equivocation") == 0
-                              ? evidence_equivocation_
-                              : evidence_divergent_exec_;
+  obs::Counter* counter = evidence_divergent_exec_;
+  if (std::strcmp(type, "equivocation") == 0) {
+    counter = evidence_equivocation_;
+  } else if (std::strcmp(type, "relay_equivocation") == 0) {
+    counter = evidence_relay_equivocation_;
+  }
   if (counter != nullptr) counter->Increment();
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Instant(tracer_->AdversaryContext(), type, node);

@@ -132,10 +132,11 @@ class AdversaryController {
                   const std::string& node, bool trace = true);
 
   /// Records one piece of protocol-side evidence of misbehavior
-  /// (`type` is "equivocation" or "divergent_exec_result"): increments
-  /// `adversary.evidence{type}` plus the adversary lane. Called by the
-  /// *honest* detection paths, so it stays live even when this
-  /// controller is inactive (count is then provably zero).
+  /// (`type` is "equivocation", "relay_equivocation", or
+  /// "divergent_exec_result"): increments `adversary.evidence{type}` plus
+  /// the adversary lane. Called by the *honest* detection paths, so it
+  /// stays live even when this controller is inactive (count is then
+  /// provably zero).
   void NoteEvidence(const char* type, const std::string& node);
 
   uint64_t actions() const { return actions_; }
@@ -151,6 +152,7 @@ class AdversaryController {
   obs::Counter* stateless_actions_ = nullptr;
   obs::Counter* storage_actions_ = nullptr;
   obs::Counter* evidence_equivocation_ = nullptr;
+  obs::Counter* evidence_relay_equivocation_ = nullptr;
   obs::Counter* evidence_divergent_exec_ = nullptr;
 };
 

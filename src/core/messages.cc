@@ -51,21 +51,32 @@ Result<tx::StateUpdate> GetUpdate(Decoder* dec) {
   PORYGON_ASSIGN_OR_RETURN(u.value.nonce, dec->GetVarint());
   return u;
 }
+// wire::Writer/Reader twins of PutUpdate/GetUpdate for the ported codecs.
+void WriteUpdate(wire::Writer* w, const tx::StateUpdate& u) {
+  w->Varint(u.account).Varint(u.value.balance).Varint(u.value.nonce);
+}
+void ReadUpdate(wire::Reader* r, tx::StateUpdate* u) {
+  r->Varint(&u->account).Varint(&u->value.balance).Varint(&u->value.nonce);
+}
 }  // namespace
 
 int PhaseOfKind(uint16_t kind) {
   switch (kind) {
     case kMsgTxBlock:
     case kMsgWitnessUpload:
+    case kMsgBodyChunk:
       return 0;  // Witness.
     case kMsgWitnessBundle:
     case kMsgProposal:
     case kMsgVote:
+    case kMsgAggWitness:
+    case kMsgVoteCert:
       return 1;  // Ordering.
     case kMsgExecRequest:
     case kMsgStateRequest:
     case kMsgStateResponse:
     case kMsgExecResult:
+    case kMsgAggExecResult:
       return 2;  // Execution.
     case kMsgCommit:
     case kMsgNewRound:
@@ -93,6 +104,11 @@ const char* MsgKindName(uint16_t kind) {
     case kMsgRoleAnnounce: return "role_announce";
     case kMsgGossip: return "gossip";
     case kMsgResync: return "resync";
+    case kMsgBodyChunk: return "body_chunk";
+    case kMsgAggWitness: return "agg_witness";
+    case kMsgAggExecResult: return "agg_exec_result";
+    case kMsgVoteCert: return "vote_cert";
+    case kMsgRelayAck: return "relay_ack";
     default: return "unknown";
   }
 }
@@ -155,9 +171,9 @@ Bytes WitnessUpload::Encode() const {
 
 Result<WitnessUpload> WitnessUpload::Decode(ByteView data) {
   WitnessUpload w;
-  Bytes rest;
+  ByteView rest;
   wire::Reader r(data);
-  r.U64(&w.round).U32(&w.shard).Rest(&rest);
+  r.U64(&w.round).U32(&w.shard).RestView(&rest);
   PORYGON_RETURN_IF_ERROR(r.status());
   PORYGON_ASSIGN_OR_RETURN(w.proof, tx::WitnessProof::Decode(rest));
   return w;
@@ -176,46 +192,52 @@ size_t WitnessedBlock::WireSize() const {
 }
 
 Bytes WitnessedBlock::Encode() const {
-  Encoder enc;
-  enc.PutBytes(header.Encode());
-  enc.PutVarint(proofs.size());
-  for (const auto& p : proofs) enc.PutFixed(p.Encode());
-  enc.PutVarint(accesses.size());
+  wire::Writer w;
+  w.Blob(header.Encode()).Varint(proofs.size());
+  for (const auto& p : proofs) w.Raw(p.Encode());
+  w.Varint(accesses.size());
   for (const auto& a : accesses) {
-    PutHash(&enc, a.id);
-    enc.PutU64(a.from);
-    enc.PutU64(a.to);
-    enc.PutU64(a.amount);
-    enc.PutU64(a.nonce);
-    enc.PutU64(a.submitted_at);
+    w.Array(a.id)
+        .U64(a.from)
+        .U64(a.to)
+        .U64(a.amount)
+        .U64(a.nonce)
+        .U64(a.submitted_at);
   }
-  return enc.TakeBuffer();
+  return w.Take();
 }
 
 Result<WitnessedBlock> WitnessedBlock::Decode(ByteView data) {
-  Decoder dec(data);
   WitnessedBlock b;
-  PORYGON_ASSIGN_OR_RETURN(Bytes header_raw, dec.GetBytes());
+  wire::Reader r(data);
+  ByteView header_raw;
+  uint64_t n_proofs = 0;
+  r.BlobView(&header_raw).Varint(&n_proofs);
+  PORYGON_RETURN_IF_ERROR(r.status());
   PORYGON_ASSIGN_OR_RETURN(b.header,
                            tx::TransactionBlockHeader::Decode(header_raw));
-  PORYGON_ASSIGN_OR_RETURN(uint64_t n_proofs, dec.GetVarint());
+  b.proofs.reserve(n_proofs);
   for (uint64_t i = 0; i < n_proofs; ++i) {
-    PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec.GetFixed(32 + 32 + 64));
+    ByteView raw;
+    r.FixedView(tx::WitnessProof::kWireSize, &raw);
+    PORYGON_RETURN_IF_ERROR(r.status());
     PORYGON_ASSIGN_OR_RETURN(auto proof, tx::WitnessProof::Decode(raw));
     b.proofs.push_back(std::move(proof));
   }
-  PORYGON_ASSIGN_OR_RETURN(uint64_t n_access, dec.GetVarint());
+  uint64_t n_access = 0;
+  r.Varint(&n_access);
   for (uint64_t i = 0; i < n_access; ++i) {
     TxAccess a;
-    PORYGON_ASSIGN_OR_RETURN(a.id, GetHash(&dec));
-    PORYGON_ASSIGN_OR_RETURN(a.from, dec.GetU64());
-    PORYGON_ASSIGN_OR_RETURN(a.to, dec.GetU64());
-    PORYGON_ASSIGN_OR_RETURN(a.amount, dec.GetU64());
-    PORYGON_ASSIGN_OR_RETURN(a.nonce, dec.GetU64());
-    PORYGON_ASSIGN_OR_RETURN(a.submitted_at, dec.GetU64());
+    r.Array(&a.id)
+        .U64(&a.from)
+        .U64(&a.to)
+        .U64(&a.amount)
+        .U64(&a.nonce)
+        .U64(&a.submitted_at);
+    if (!r.status().ok()) break;
     b.accesses.push_back(a);
   }
-  if (!dec.Done()) return Status::Corruption("trailing witnessed-block bytes");
+  PORYGON_RETURN_IF_ERROR(r.Finish("witnessed-block"));
   return b;
 }
 
@@ -226,24 +248,26 @@ size_t WitnessBundle::WireSize() const {
 }
 
 Bytes WitnessBundle::Encode() const {
-  Encoder enc;
-  enc.PutU64(batch_round);
-  enc.PutVarint(blocks.size());
-  for (const auto& b : blocks) enc.PutBytes(b.Encode());
-  return enc.TakeBuffer();
+  wire::Writer w;
+  w.U64(batch_round).Varint(blocks.size());
+  for (const auto& b : blocks) w.Blob(b.Encode());
+  return w.Take();
 }
 
 Result<WitnessBundle> WitnessBundle::Decode(ByteView data) {
-  Decoder dec(data);
   WitnessBundle w;
-  PORYGON_ASSIGN_OR_RETURN(w.batch_round, dec.GetU64());
-  PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  wire::Reader r(data);
+  uint64_t n = 0;
+  r.U64(&w.batch_round).Varint(&n);
+  w.blocks.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    PORYGON_ASSIGN_OR_RETURN(Bytes raw, dec.GetBytes());
+    ByteView raw;
+    r.BlobView(&raw);
+    PORYGON_RETURN_IF_ERROR(r.status());
     PORYGON_ASSIGN_OR_RETURN(auto block, WitnessedBlock::Decode(raw));
     w.blocks.push_back(std::move(block));
   }
-  if (!dec.Done()) return Status::Corruption("trailing bundle bytes");
+  PORYGON_RETURN_IF_ERROR(r.Finish("bundle"));
   return w;
 }
 
@@ -377,55 +401,59 @@ crypto::Hash256 ExecResultMsg::HashSSet(
 }
 
 Bytes ExecResultMsg::SigningBytes() const {
-  Encoder enc;
-  enc.PutString("porygon.exec-result");
-  enc.PutU64(exec_round);
-  enc.PutU32(shard);
-  PutHash(&enc, new_root);
-  PutHash(&enc, s_hash);
-  enc.PutU32(intra_applied);
-  enc.PutU32(cross_pre_executed);
-  return enc.TakeBuffer();
+  return wire::Writer()
+      .Str("porygon.exec-result")
+      .U64(exec_round)
+      .U32(shard)
+      .Array(new_root)
+      .Array(s_hash)
+      .U32(intra_applied)
+      .U32(cross_pre_executed)
+      .Take();
 }
 
 Bytes ExecResultMsg::Encode() const {
-  Encoder enc;
-  enc.PutU64(exec_round);
-  enc.PutU32(shard);
-  PutHash(&enc, new_root);
-  PutHash(&enc, s_hash);
-  enc.PutBool(full);
+  wire::Writer w;
+  w.U64(exec_round)
+      .U32(shard)
+      .Array(new_root)
+      .Array(s_hash)
+      .Bool(full);
   if (full) {
-    enc.PutVarint(s_set.size());
-    for (const auto& u : s_set) PutUpdate(&enc, u);
+    w.Varint(s_set.size());
+    for (const auto& u : s_set) WriteUpdate(&w, u);
   }
-  enc.PutU32(intra_applied);
-  enc.PutU32(cross_pre_executed);
-  PutKey(&enc, signer);
-  PutSig(&enc, signature);
-  return enc.TakeBuffer();
+  w.U32(intra_applied)
+      .U32(cross_pre_executed)
+      .Array(signer)
+      .Array(signature);
+  return w.Take();
 }
 
 Result<ExecResultMsg> ExecResultMsg::Decode(ByteView data) {
-  Decoder dec(data);
   ExecResultMsg m;
-  PORYGON_ASSIGN_OR_RETURN(m.exec_round, dec.GetU64());
-  PORYGON_ASSIGN_OR_RETURN(m.shard, dec.GetU32());
-  PORYGON_ASSIGN_OR_RETURN(m.new_root, GetHash(&dec));
-  PORYGON_ASSIGN_OR_RETURN(m.s_hash, GetHash(&dec));
-  PORYGON_ASSIGN_OR_RETURN(m.full, dec.GetBool());
-  if (m.full) {
-    PORYGON_ASSIGN_OR_RETURN(uint64_t n, dec.GetVarint());
+  wire::Reader r(data);
+  r.U64(&m.exec_round)
+      .U32(&m.shard)
+      .Array(&m.new_root)
+      .Array(&m.s_hash)
+      .Bool(&m.full);
+  if (m.full && r.status().ok()) {
+    uint64_t n = 0;
+    r.Varint(&n);
+    m.s_set.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
-      PORYGON_ASSIGN_OR_RETURN(auto u, GetUpdate(&dec));
+      tx::StateUpdate u;
+      ReadUpdate(&r, &u);
+      if (!r.status().ok()) break;
       m.s_set.push_back(u);
     }
   }
-  PORYGON_ASSIGN_OR_RETURN(m.intra_applied, dec.GetU32());
-  PORYGON_ASSIGN_OR_RETURN(m.cross_pre_executed, dec.GetU32());
-  PORYGON_ASSIGN_OR_RETURN(m.signer, GetKey(&dec));
-  PORYGON_ASSIGN_OR_RETURN(m.signature, GetSig(&dec));
-  if (!dec.Done()) return Status::Corruption("trailing exec-result bytes");
+  r.U32(&m.intra_applied)
+      .U32(&m.cross_pre_executed)
+      .Array(&m.signer)
+      .Array(&m.signature);
+  PORYGON_RETURN_IF_ERROR(r.Finish("exec-result"));
   return m;
 }
 
@@ -459,6 +487,227 @@ Result<Relay> Relay::Decode(ByteView data) {
   }
   if (!dec.Done()) return Status::Corruption("trailing relay bytes");
   return r;
+}
+
+size_t BodyChunk::WireSize() const {
+  // Fixed fields + member roster + the chunk payload itself.
+  return 22 + header.WireSize() + 4 * peers.size() + payload.size();
+}
+
+Bytes BodyChunk::Encode() const {
+  wire::Writer w;
+  w.U64(round)
+      .U32(shard)
+      .Blob(header.Encode())
+      .U16(index)
+      .U16(k)
+      .U16(n)
+      .Varint(peers.size());
+  for (net::NodeId p : peers) w.U32(p);
+  w.Blob(payload);
+  return w.Take();
+}
+
+Result<BodyChunk> BodyChunk::Decode(ByteView data) {
+  BodyChunk c;
+  wire::Reader r(data);
+  ByteView header_raw;
+  r.U64(&c.round).U32(&c.shard).BlobView(&header_raw);
+  PORYGON_RETURN_IF_ERROR(r.status());
+  PORYGON_ASSIGN_OR_RETURN(c.header,
+                           tx::TransactionBlockHeader::Decode(header_raw));
+  uint64_t n_peers = 0;
+  r.U16(&c.index).U16(&c.k).U16(&c.n).Varint(&n_peers);
+  if (r.status().ok()) c.peers.reserve(n_peers);
+  for (uint64_t i = 0; i < n_peers; ++i) {
+    net::NodeId p = net::kInvalidNode;
+    r.U32(&p);
+    if (!r.status().ok()) break;
+    c.peers.push_back(p);
+  }
+  r.Blob(&c.payload);
+  PORYGON_RETURN_IF_ERROR(r.Finish("body-chunk"));
+  return c;
+}
+
+size_t AggregatedWitness::WireSize() const {
+  // Same compressed-access model as WitnessBundle: the aggregate replaces m
+  // per-storage bundles with one deduplicated copy, so it must be charged
+  // with the identical per-block cost model.
+  size_t total = 16;
+  for (const auto& b : blocks) total += b.WireSize();
+  return total;
+}
+
+Bytes AggregatedWitness::Encode() const {
+  wire::Writer w;
+  w.U64(batch_round).U32(shard).U32(aggregator).Varint(blocks.size());
+  for (const auto& b : blocks) w.Blob(b.Encode());
+  return w.Take();
+}
+
+Result<AggregatedWitness> AggregatedWitness::Decode(ByteView data) {
+  AggregatedWitness a;
+  wire::Reader r(data);
+  uint64_t n = 0;
+  r.U64(&a.batch_round).U32(&a.shard).U32(&a.aggregator).Varint(&n);
+  a.blocks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ByteView raw;
+    r.BlobView(&raw);
+    PORYGON_RETURN_IF_ERROR(r.status());
+    PORYGON_ASSIGN_OR_RETURN(auto block, WitnessedBlock::Decode(raw));
+    a.blocks.push_back(std::move(block));
+  }
+  PORYGON_RETURN_IF_ERROR(r.Finish("agg-witness"));
+  return a;
+}
+
+Bytes AggregatedExecResult::MemberSigningBytes() const {
+  ExecResultMsg m;
+  m.exec_round = exec_round;
+  m.shard = shard;
+  m.new_root = new_root;
+  m.s_hash = s_hash;
+  m.intra_applied = intra_applied;
+  m.cross_pre_executed = cross_pre_executed;
+  return m.SigningBytes();
+}
+
+size_t AggregatedExecResult::WireSize() const {
+  // Fixed fields + varint-coded S set (modeled at the same ~8 B/update as
+  // the exec-result path) + one 96-byte attestation pair per member.
+  return 90 + (has_payload ? 8 * s_set.size() : 0) + 96 * signers.size();
+}
+
+Bytes AggregatedExecResult::Encode() const {
+  wire::Writer w;
+  w.U64(exec_round)
+      .U32(shard)
+      .Array(new_root)
+      .Array(s_hash)
+      .U32(intra_applied)
+      .U32(cross_pre_executed)
+      .Bool(has_payload);
+  if (has_payload) {
+    w.Varint(s_set.size());
+    for (const auto& u : s_set) WriteUpdate(&w, u);
+  }
+  w.U32(aggregator).Varint(signers.size());
+  for (size_t i = 0; i < signers.size(); ++i) {
+    w.Array(signers[i]).Array(signatures[i]);
+  }
+  return w.Take();
+}
+
+Result<AggregatedExecResult> AggregatedExecResult::Decode(ByteView data) {
+  AggregatedExecResult a;
+  wire::Reader r(data);
+  r.U64(&a.exec_round)
+      .U32(&a.shard)
+      .Array(&a.new_root)
+      .Array(&a.s_hash)
+      .U32(&a.intra_applied)
+      .U32(&a.cross_pre_executed)
+      .Bool(&a.has_payload);
+  if (a.has_payload && r.status().ok()) {
+    uint64_t n = 0;
+    r.Varint(&n);
+    a.s_set.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      tx::StateUpdate u;
+      ReadUpdate(&r, &u);
+      if (!r.status().ok()) break;
+      a.s_set.push_back(u);
+    }
+  }
+  uint64_t n_signers = 0;
+  r.U32(&a.aggregator).Varint(&n_signers);
+  if (r.status().ok()) {
+    a.signers.reserve(n_signers);
+    a.signatures.reserve(n_signers);
+  }
+  for (uint64_t i = 0; i < n_signers; ++i) {
+    crypto::PublicKey key{};
+    crypto::Signature sig{};
+    r.Array(&key).Array(&sig);
+    if (!r.status().ok()) break;
+    a.signers.push_back(key);
+    a.signatures.push_back(sig);
+  }
+  PORYGON_RETURN_IF_ERROR(r.Finish("agg-exec-result"));
+  return a;
+}
+
+std::vector<consensus::Vote> CompactVoteCert::ToVotes(
+    const std::vector<crypto::PublicKey>& committee) const {
+  std::vector<consensus::Vote> votes;
+  size_t sig_idx = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    if (!(bitmap & (uint64_t{1} << i))) continue;
+    // A bit past the committee or beyond the signature list makes the whole
+    // cert malformed — return nothing rather than a partial vote set.
+    if (i >= committee.size() || sig_idx >= signatures.size()) return {};
+    consensus::Vote v;
+    v.instance = instance;
+    v.step = step;
+    v.kind = kind;
+    v.value = value;
+    v.voter = committee[i];
+    v.signature = signatures[sig_idx++];
+    votes.push_back(v);
+  }
+  if (sig_idx != signatures.size()) return {};  // Unclaimed signatures.
+  return votes;
+}
+
+size_t CompactVoteCert::WireSize() const {
+  return 54 + 64 * signatures.size();
+}
+
+Bytes CompactVoteCert::Encode() const {
+  wire::Writer w;
+  w.U64(instance)
+      .U32(step)
+      .U8(kind)
+      .Array(value)
+      .U64(bitmap)
+      .Varint(signatures.size());
+  for (const auto& s : signatures) w.Array(s);
+  return w.Take();
+}
+
+Result<CompactVoteCert> CompactVoteCert::Decode(ByteView data) {
+  CompactVoteCert c;
+  wire::Reader r(data);
+  uint64_t n = 0;
+  r.U64(&c.instance)
+      .U32(&c.step)
+      .U8(&c.kind)
+      .Array(&c.value)
+      .U64(&c.bitmap)
+      .Varint(&n);
+  if (r.status().ok()) c.signatures.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    crypto::Signature sig{};
+    r.Array(&sig);
+    if (!r.status().ok()) break;
+    c.signatures.push_back(sig);
+  }
+  PORYGON_RETURN_IF_ERROR(r.Finish("vote-cert"));
+  return c;
+}
+
+Bytes RelayAck::Encode() const {
+  return wire::Writer().U64(round).Array(digest).Take();
+}
+
+Result<RelayAck> RelayAck::Decode(ByteView data) {
+  RelayAck a;
+  wire::Reader r(data);
+  r.U64(&a.round).Array(&a.digest);
+  PORYGON_RETURN_IF_ERROR(r.Finish("relay-ack"));
+  return a;
 }
 
 }  // namespace porygon::core

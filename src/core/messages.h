@@ -35,6 +35,14 @@ enum MsgKind : uint16_t {
   kMsgRoleAnnounce = 14,  ///< stateless -> storage: my role this round.
   kMsgGossip = 15,        ///< storage <-> storage: replication.
   kMsgResync = 16,        ///< stateless -> storage: chain-tip catch-up ask.
+  // Tree-dissemination kinds (net::DisseminationMode::kTree only; a direct
+  // run never sends them, keeping its byte stream identical to builds that
+  // predate the strategy layer).
+  kMsgBodyChunk = 17,     ///< storage/EC peer: erasure-coded body chunk.
+  kMsgAggWitness = 18,    ///< relay -> OC leader: merged witnessed blocks.
+  kMsgAggExecResult = 19, ///< relay -> OC: batched exec-result votes.
+  kMsgVoteCert = 20,      ///< vote relay -> OC: compact bitmap vote cert.
+  kMsgRelayAck = 21,      ///< storage -> sender: relay-delivery digest ack.
 };
 
 /// Maps a message kind to the pipeline phase whose budget it spends
@@ -224,6 +232,103 @@ struct Relay {
 
   Bytes Encode() const;
   static Result<Relay> Decode(ByteView data);
+};
+
+/// One erasure-coded chunk of a transaction-block body (tree mode). The
+/// packaging storage node seeds chunk i of n to EC member i % |EC|; members
+/// exchange chunks over the shard mesh and reconstruct once any k arrive
+/// (common/erasure.h), so no single link carries |EC| full copies.
+struct BodyChunk {
+  uint64_t round = 0;
+  uint32_t shard = 0;
+  tx::TransactionBlockHeader header{};  ///< Identifies + validates the body.
+  uint16_t index = 0;                   ///< Chunk index in [0, n).
+  uint16_t k = 0;
+  uint16_t n = 0;
+  /// The shard's EC member addresses, so receivers can forward their seed
+  /// chunks peer-to-peer without waiting for an ExecRequest roster.
+  std::vector<net::NodeId> peers;
+  Bytes payload;
+
+  size_t WireSize() const;
+  Bytes Encode() const;
+  static Result<BodyChunk> Decode(ByteView data);
+};
+
+/// Per-shard witness aggregate (tree mode): the elected relay merges the m
+/// storage nodes' witnessed blocks for one shard — deduplicating headers and
+/// unioning proofs — and ships one message to the OC leader, replacing m
+/// full WitnessBundle copies on the leader's downlink.
+struct AggregatedWitness {
+  uint64_t batch_round = 0;
+  uint32_t shard = 0;
+  net::NodeId aggregator = net::kInvalidNode;
+  std::vector<WitnessedBlock> blocks;
+
+  size_t WireSize() const;
+  Bytes Encode() const;
+  static Result<AggregatedWitness> Decode(ByteView data);
+};
+
+/// Aggregated execution result (tree mode): one shard's exec-result votes
+/// for a single (root, S-hash) outcome, batch-verified by the relay and
+/// re-verified by receivers. Replaces |ESC| individual ExecResultMsg
+/// broadcasts on every OC downlink with one message carrying the payload
+/// once plus 96-byte (signer, signature) attestation pairs.
+struct AggregatedExecResult {
+  uint64_t exec_round = 0;
+  uint32_t shard = 0;
+  crypto::Hash256 new_root{};
+  crypto::Hash256 s_hash{};
+  uint32_t intra_applied = 0;
+  uint32_t cross_pre_executed = 0;
+  bool has_payload = false;
+  std::vector<tx::StateUpdate> s_set;
+  net::NodeId aggregator = net::kInvalidNode;
+  std::vector<crypto::PublicKey> signers;
+  std::vector<crypto::Signature> signatures;  ///< Aligned with `signers`.
+
+  /// The per-member ExecResultMsg signing payload these signatures cover.
+  Bytes MemberSigningBytes() const;
+
+  size_t WireSize() const;
+  Bytes Encode() const;
+  static Result<AggregatedExecResult> Decode(ByteView data);
+};
+
+/// Compact BA* vote certificate (tree mode): all votes for one
+/// (instance, step, kind, value) cell, with voters named by a bitmap over
+/// the OC committee's canonical key order instead of 32-byte keys per vote.
+/// ToVotes() reconstructs the exact consensus::Vote sequence, so BA* counts
+/// them through its normal batch-verified OnVotes path.
+struct CompactVoteCert {
+  uint64_t instance = 0;
+  uint32_t step = 0;
+  uint8_t kind = 0;  ///< consensus::Vote::kSoft / kCert.
+  crypto::Hash256 value{};
+  uint64_t bitmap = 0;  ///< Bit i set = committee[i] voted (oc_size <= 64).
+  std::vector<crypto::Signature> signatures;  ///< Ascending set-bit order.
+
+  /// Votes in ascending committee order; empty if the bitmap popcount
+  /// disagrees with `signatures` or indexes past the committee.
+  std::vector<consensus::Vote> ToVotes(
+      const std::vector<crypto::PublicKey>& committee) const;
+
+  size_t WireSize() const;
+  Bytes Encode() const;
+  static Result<CompactVoteCert> Decode(ByteView data);
+};
+
+/// Delivery acknowledgement for tree-mode relays (storage -> sender): in
+/// direct mode a committee broadcast echoes back to its in-committee sender
+/// as a full copy, which doubles as the failover layer's delivery signal;
+/// tree mode suppresses the echo and sends this 40-byte digest instead.
+struct RelayAck {
+  uint64_t round = 0;
+  crypto::Hash256 digest{};  ///< SHA-256 of the acked relay payload.
+
+  Bytes Encode() const;
+  static Result<RelayAck> Decode(ByteView data);
 };
 
 }  // namespace porygon::core

@@ -2,8 +2,10 @@
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/erasure.h"
 #include "common/log.h"
 #include "core/system.h"
+#include "crypto/sha256.h"
 #include "state/view.h"
 
 namespace porygon::core {
@@ -347,6 +349,21 @@ void StatelessNodeActor::HandleMessage(const net::Message& msg) {
     case kMsgExecResult:
       OnExecResult(msg);
       break;
+    case kMsgBodyChunk:
+      OnBodyChunk(msg);
+      break;
+    case kMsgAggWitness:
+      OnAggWitness(msg);
+      break;
+    case kMsgAggExecResult:
+      OnAggExecResult(msg);
+      break;
+    case kMsgVoteCert:
+      OnVoteCert(msg);
+      break;
+    case kMsgRelayAck:
+      OnRelayAck(msg);
+      break;
     default:
       break;
   }
@@ -385,6 +402,22 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
     }
   }
 
+  // Tree-dissemination scratch is per-round; prune with the pipeline depth.
+  for (auto it = chunk_state_.begin(); it != chunk_state_.end();) {
+    if (it->second.header.round_created + 2 < round) {
+      it = chunk_state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  while (!witness_agg_.empty() &&
+         witness_agg_.begin()->first.first + 4 < round) {
+    witness_agg_.erase(witness_agg_.begin());
+  }
+  while (!exec_agg_.empty() && exec_agg_.begin()->first.first + 4 < round) {
+    exec_agg_.erase(exec_agg_.begin());
+  }
+
   if (in_oc_) {
     // Fresh consensus instance; the coordinator persists (the OC outlives
     // ECs, §IV-C2).
@@ -400,6 +433,18 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
     while (!exec_results_.empty() &&
            exec_results_.begin()->first.first + 4 < round) {
       exec_results_.erase(exec_results_.begin());
+    }
+    // Tree mode: a new round re-elects the vote relay, so the degradation
+    // latch resets; leader-side relay bookkeeping ages out with the
+    // pipeline depth.
+    vote_relay_direct_ = false;
+    while (!vote_agg_.empty() &&
+           std::get<0>(vote_agg_.begin()->first) + 4 < round) {
+      vote_agg_.erase(vote_agg_.begin());
+    }
+    while (!agg_seen_.empty() &&
+           std::get<0>(agg_seen_.begin()->first) + 4 < round) {
+      agg_seen_.erase(agg_seen_.begin());
     }
     if (net_id_ == system_->leader_net_id_) {
       // Normal path: propose when the witness bundle arrives
@@ -461,24 +506,34 @@ void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
   auto block = tx::TransactionBlock::Decode(msg.payload);
   if (!block.ok() || !assignment_.has_value()) return;
   if (block->header.shard != assignment_->shard) return;
+  WitnessBody(std::move(*block), current_round_, msg.trace);
+}
+
+// Shared witness tail for both body transports: the full-body push
+// (OnTxBlock) and the erasure-coded chunk path (OnBodyChunk) converge here
+// once a complete body is in hand.
+void StatelessNodeActor::WitnessBody(tx::TransactionBlock block,
+                                     uint64_t round,
+                                     obs::TraceContext trace) {
+  if (!assignment_.has_value()) return;
 
   // Data availability check (Witness Phase, §IV-C1(a)): a header whose body
   // we cannot download, or whose body does not match, is never witnessed.
-  if (block->transactions.size() != block->header.tx_count) return;
-  if (!block->BodyMatchesHeader()) return;
+  if (block.transactions.size() != block.header.tx_count) return;
+  if (!block.BodyMatchesHeader()) return;
 
-  std::string key = IdKey(block->header.Id());
+  std::string key = IdKey(block.header.Id());
   if (held_blocks_.count(key) == 0) {
     HeldBlock held;
-    held.header = block->header;
-    held.txs = block->transactions;
-    held.witnessed_round = current_round_;
+    held.header = block.header;
+    held.txs = block.transactions;
+    held.witnessed_round = round;
     held_blocks_[key] = std::move(held);
   }
 
-  if (system_->tracer()->enabled() && msg.trace.active()) {
+  if (system_->tracer()->enabled() && trace.active()) {
     // One witness mark per EC member in the round lane the block rode in on.
-    system_->tracer()->Instant(msg.trace, "witness", TraceName());
+    system_->tracer()->Instant(trace, "witness", TraceName());
   }
 
   if (strategy_ == AdvStrategy::kForgeWitness) {
@@ -490,19 +545,19 @@ void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
     AdversaryController* adv = system_->adversary();
     adv->NoteAction(strategy_, "forge_witness", TraceName());
     WitnessUpload bad;
-    bad.round = current_round_;
+    bad.round = round;
     bad.shard = assignment_->shard;
-    bad.proof.block_id = block->header.Id();
+    bad.proof.block_id = block.header.Id();
     bad.proof.witness = keys_.public_key;
     bad.proof.signature =
-        adv->ForgedSignature("witness_sig", current_round_,
+        adv->ForgedSignature("witness_sig", round,
                              static_cast<uint64_t>(index_));
     SendToAllStorages(kMsgWitnessUpload, bad.Encode());
     WitnessUpload ghost;
-    ghost.round = current_round_;
+    ghost.round = round;
     ghost.shard = assignment_->shard;
     ghost.proof.block_id = adv->ForgedValue(
-        "ghost_block", current_round_, static_cast<uint64_t>(index_));
+        "ghost_block", round, static_cast<uint64_t>(index_));
     ghost.proof.witness = keys_.public_key;
     ghost.proof.signature = system_->provider()->Sign(
         keys_.private_key, ToBytes("porygon.ghost"));
@@ -511,18 +566,76 @@ void StatelessNodeActor::OnTxBlock(const net::Message& msg) {
   }
 
   tx::WitnessProof proof;
-  proof.block_id = block->header.Id();
+  proof.block_id = block.header.Id();
   proof.witness = keys_.public_key;
   proof.signature = system_->provider()->Sign(
-      keys_.private_key, WitnessSigningBytes(block->header));
+      keys_.private_key, WitnessSigningBytes(block.header));
 
   WitnessUpload up;
-  up.round = current_round_;
+  up.round = round;
   up.shard = assignment_->shard;
   up.proof = proof;
   // Redundant upload to all m connected storage nodes: one honest one
   // suffices (Lemma 1).
   SendToAllStorages(kMsgWitnessUpload, up.Encode());
+}
+
+void StatelessNodeActor::OnBodyChunk(const net::Message& msg) {
+  if (!system_->tree_mode()) return;
+  auto chunk = BodyChunk::Decode(msg.payload);
+  if (!chunk.ok() || !assignment_.has_value()) return;
+  if (chunk->shard != assignment_->shard) return;
+  if (chunk->k < 2 || chunk->n < chunk->k || chunk->index >= chunk->n) return;
+
+  std::string key = IdKey(chunk->header.Id());
+  if (held_blocks_.count(key) > 0) return;  // Already witnessed in full.
+  ChunkState& st = chunk_state_[key];
+  if (st.done) return;
+  if (st.chunks.empty()) {
+    st.header = chunk->header;
+    st.k = chunk->k;
+    st.n = chunk->n;
+    st.chunks.assign(chunk->n, std::nullopt);
+  }
+  if (chunk->k != st.k || chunk->n != st.n) return;
+  if (!chunk->payload.empty() && !st.chunks[chunk->index].has_value()) {
+    st.chunks[chunk->index] = chunk->payload;
+    ++st.have;
+  }
+
+  // Seed chunks (storage-sent) carry the member roster; our own seed is
+  // forwarded once to the next k members on the ring. That caps every
+  // member's uplink at ~one body while giving each member k+1 arrivals —
+  // a one-chunk loss margin over the k needed to reconstruct.
+  if (!st.forwarded && chunk->index < chunk->peers.size() &&
+      chunk->peers[chunk->index] == net_id_ && !chunk->payload.empty()) {
+    st.forwarded = true;
+    BodyChunk fwd = *chunk;
+    fwd.peers.clear();  // Forwarded hops never re-forward; drop the roster.
+    Bytes enc = fwd.Encode();
+    const size_t wire = fwd.WireSize();
+    for (uint16_t i = 1; i <= st.k; ++i) {
+      net::NodeId peer =
+          chunk->peers[(chunk->index + i) % chunk->peers.size()];
+      if (peer == net_id_) continue;
+      net::Message m;
+      m.from = net_id_;
+      m.to = peer;
+      m.kind = kMsgBodyChunk;
+      m.trace = msg.trace;
+      m.payload = enc;
+      m.wire_size = wire;
+      system_->network()->Send(std::move(m));
+    }
+  }
+
+  if (st.have < static_cast<size_t>(st.k)) return;
+  auto body = erasure::Decode(st.chunks, st.k, st.n);
+  if (!body.ok()) return;
+  auto block = tx::TransactionBlock::Decode(*body);
+  if (!block.ok() || block->header.Id() != st.header.Id()) return;
+  st.done = true;
+  WitnessBody(std::move(*block), current_round_, msg.trace);
 }
 
 void StatelessNodeActor::OnExecRequest(const net::Message& msg) {
@@ -655,12 +768,15 @@ void StatelessNodeActor::RunExecution() {
   result.shard = req.shard;
   // Rank within the shard's ESC decides who ships the full S set; two full
   // senders give redundancy while attestations keep the OC downlink flat.
+  // Tree mode leans on the aggregation relay for attestation redundancy, so
+  // a single full sender suffices there.
   int rank = 0;
   for (net::NodeId m : req.members) {
     if (m == net_id_) break;
     ++rank;
   }
-  result.full = rank < 2;
+  const bool tree = system_->tree_mode();
+  result.full = tree ? rank == 0 : rank < 2;
 
   const bool faithful = system_->options().faithful_execution;
   bool computed = false;
@@ -754,8 +870,82 @@ void StatelessNodeActor::RunExecution() {
     lane = system_->tracer()->RoundContext(req.round);
     system_->tracer()->EndSpan(exec_task_->trace_span);
   }
-  BroadcastToOc(kMsgExecResult, result.Encode(), lane);
+  if (!tree || result.full) {
+    BroadcastToOc(kMsgExecResult, result.Encode(), lane);
+  } else {
+    // Attestations ride the relay tree: one elected ESC member merges the
+    // sibling signatures into a single compact message for the whole OC.
+    net::NodeId relay =
+        net::Dissemination::AggregatorFor(req.members, req.round, 1);
+    if (relay == net_id_) {
+      CollectExecAttestation(result);
+    } else if (relay == net::kInvalidNode ||
+               system_->network()->IsCrashed(relay)) {
+      // No viable relay: degrade to the legacy direct broadcast.
+      BroadcastToOc(kMsgExecResult, result.Encode(), lane);
+    } else {
+      net::Message m;
+      m.from = net_id_;
+      m.to = relay;
+      m.kind = kMsgExecResult;
+      m.trace = lane;
+      m.payload = result.Encode();
+      m.wire_size = m.payload.size();
+      system_->network()->Send(std::move(m));
+    }
+  }
   exec_task_.reset();
+}
+
+// Relay-side attestation pool: flushed as one AggregatedExecResult to every
+// OC member once enough distinct signers agree on a (root, s_hash) key.
+void StatelessNodeActor::CollectExecAttestation(const ExecResultMsg& result) {
+  auto& agg = exec_agg_[{result.exec_round, result.shard}];
+  Encoder key_enc;
+  key_enc.PutFixed(ByteView(result.new_root.data(), 32));
+  key_enc.PutFixed(ByteView(result.s_hash.data(), 32));
+  std::string key(reinterpret_cast<const char*>(key_enc.buffer().data()),
+                  key_enc.buffer().size());
+  if (agg.flushed_keys.count(key) > 0) return;
+  auto& list = agg.by_key[key];
+  for (const auto& r : list) {
+    if (r.signer == result.signer) return;  // One attestation per member.
+  }
+  list.push_back(result);
+  // Together with the rank-0 full broadcast this meets the execution
+  // threshold exactly; waiting for more signatures only adds latency.
+  const size_t target = static_cast<size_t>(
+      std::max(1, system_->params().execution_threshold - 1));
+  if (list.size() < target) return;
+  agg.flushed_keys.insert(key);
+  AggregatedExecResult out;
+  out.exec_round = result.exec_round;
+  out.shard = result.shard;
+  out.new_root = result.new_root;
+  out.s_hash = result.s_hash;
+  out.intra_applied = result.intra_applied;
+  out.cross_pre_executed = result.cross_pre_executed;
+  out.has_payload = false;  // Rank 0's full broadcast carries the S data.
+  out.aggregator = net_id_;
+  for (const auto& r : list) {
+    out.signers.push_back(r.signer);
+    out.signatures.push_back(r.signature);
+  }
+  Bytes enc = out.Encode();
+  obs::TraceContext lane;
+  if (system_->tracer()->enabled()) {
+    lane = system_->tracer()->RoundContext(result.exec_round);
+  }
+  for (net::NodeId oc : system_->oc_net_ids_) {
+    net::Message m;
+    m.from = net_id_;
+    m.to = oc;
+    m.kind = kMsgAggExecResult;
+    m.trace = lane;
+    m.payload = enc;
+    m.wire_size = out.WireSize();
+    system_->network()->Send(std::move(m));
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -795,8 +985,155 @@ void StatelessNodeActor::OnWitnessBundle(const net::Message& msg) {
   }
 }
 
+void StatelessNodeActor::OnAggWitness(const net::Message& msg) {
+  if (!system_->tree_mode()) return;
+  auto agg = AggregatedWitness::Decode(msg.payload);
+  if (!agg.ok()) return;
+  if (agg->shard >=
+      static_cast<uint32_t>(system_->params().shard_count())) {
+    system_->obs_.rejected_bad_shard->Increment();
+    return;
+  }
+
+  if (in_oc_) {
+    if (net_id_ != system_->leader_net_id_) return;
+    // Leader side. Equivocation detection is content-hash based: one
+    // aggregator, one aggregate per (batch, shard). First-wins mirrors the
+    // BA* vote rule, so a tampered second copy becomes evidence, never
+    // state.
+    const crypto::Hash256 h = crypto::Sha256::Hash(msg.payload);
+    auto key = std::make_tuple(agg->batch_round, agg->shard, msg.from);
+    auto seen = agg_seen_.find(key);
+    if (seen != agg_seen_.end()) {
+      if (seen->second != h) {
+        system_->adversary()->NoteEvidence("relay_equivocation",
+                                           TraceName());
+      }
+      return;
+    }
+    agg_seen_.emplace(key, h);
+    auto& merged = bundles_[agg->batch_round];
+    for (auto& block : agg->blocks) {
+      if (block.header.shard != agg->shard) {
+        system_->obs_.rejected_bad_shard->Increment();
+        continue;  // A relay must not smuggle foreign-shard blocks.
+      }
+      std::string id = IdKey(block.header.Id());
+      auto it = merged.find(id);
+      if (it == merged.end()) {
+        merged[id] = std::move(block);
+      } else {
+        std::set<crypto::PublicKey> witnesses;
+        for (const auto& p : it->second.proofs) witnesses.insert(p.witness);
+        for (const auto& p : block.proofs) {
+          if (witnesses.insert(p.witness).second) {
+            it->second.proofs.push_back(p);
+          }
+        }
+      }
+    }
+    // Per-shard aggregates arrive independently; propose once every shard
+    // reported. (The round-start fallback deadline covers missing shards.)
+    if (agg->batch_round + 1 == current_round_) {
+      std::set<uint32_t> shards_seen;
+      for (auto it = agg_seen_.lower_bound(std::make_tuple(
+               agg->batch_round, uint32_t{0}, net::NodeId{0}));
+           it != agg_seen_.end() &&
+           std::get<0>(it->first) == agg->batch_round;
+           ++it) {
+        shards_seen.insert(std::get<1>(it->first));
+      }
+      if (shards_seen.size() ==
+          static_cast<size_t>(system_->params().shard_count())) {
+        MaybePropose();
+      }
+    }
+    return;
+  }
+
+  // Relay duty: merge the per-storage sub-bundles for our shard. Flush to
+  // the leader once every storage reported, or when the deadline fires —
+  // whichever comes first.
+  const auto agg_key = std::make_pair(agg->batch_round, agg->shard);
+  auto& wa = witness_agg_[agg_key];
+  if (wa.flushed) return;
+  wa.senders.insert(msg.from);
+  for (auto& block : agg->blocks) {
+    if (block.header.shard != agg->shard) {
+      system_->obs_.rejected_bad_shard->Increment();
+      continue;
+    }
+    std::string id = IdKey(block.header.Id());
+    auto it = wa.blocks.find(id);
+    if (it == wa.blocks.end()) {
+      wa.blocks[id] = std::move(block);
+    } else {
+      std::set<crypto::PublicKey> witnesses;
+      for (const auto& p : it->second.proofs) witnesses.insert(p.witness);
+      for (const auto& p : block.proofs) {
+        if (witnesses.insert(p.witness).second) {
+          it->second.proofs.push_back(p);
+        }
+      }
+    }
+  }
+  if (!wa.deadline_armed) {
+    wa.deadline_armed = true;
+    system_->events()->ScheduleAfter(
+        system_->params().phase_interval_us / 2, [this, agg_key] {
+          FlushWitnessAgg(agg_key.first, agg_key.second);
+        });
+  }
+  if (wa.senders.size() >=
+      static_cast<size_t>(system_->num_storage_nodes())) {
+    FlushWitnessAgg(agg->batch_round, agg->shard);
+  }
+}
+
+void StatelessNodeActor::FlushWitnessAgg(uint64_t batch_round,
+                                         uint32_t shard) {
+  auto it = witness_agg_.find({batch_round, shard});
+  if (it == witness_agg_.end() || it->second.flushed) return;
+  it->second.flushed = true;
+  if (it->second.blocks.empty()) return;
+  AggregatedWitness out;
+  out.batch_round = batch_round;
+  out.shard = shard;
+  out.aggregator = net_id_;
+  for (auto& [id, wb] : it->second.blocks) out.blocks.push_back(wb);
+  obs::TraceContext lane;
+  if (system_->tracer()->enabled()) {
+    lane = system_->tracer()->RoundContext(batch_round);
+  }
+  auto ship = [&](const AggregatedWitness& aw) {
+    net::Message m;
+    m.from = net_id_;
+    m.to = system_->leader_net_id_;
+    m.kind = kMsgAggWitness;
+    m.trace = lane;
+    m.payload = aw.Encode();
+    m.wire_size = aw.WireSize();
+    system_->network()->Send(std::move(m));
+  };
+  ship(out);
+  if (strategy_ == AdvStrategy::kEquivocate && out.blocks.size() > 1) {
+    // A Byzantine relay equivocates on the aggregate: a second, conflicting
+    // digest right behind the honest one. The leader's content-hash check
+    // turns it into relay_equivocation evidence; first-wins keeps the
+    // honest copy authoritative.
+    AggregatedWitness tampered = out;
+    tampered.blocks.pop_back();
+    system_->adversary()->NoteAction(strategy_, "relay_equivocate",
+                                     TraceName());
+    ship(tampered);
+  }
+}
+
 void StatelessNodeActor::OnExecResult(const net::Message& msg) {
-  if (!in_oc_) return;
+  // In tree mode the elected ESC relay — a non-OC node — receives its
+  // siblings' attestations here and pools them instead of voting.
+  const bool relay_collect = system_->tree_mode() && !in_oc_;
+  if (!in_oc_ && !relay_collect) return;
   auto result = ExecResultMsg::Decode(msg.payload);
   if (!result.ok()) return;
   if (result->shard >=
@@ -828,6 +1165,10 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
     system_->obs_.rejected_s_hash_mismatch->Increment();
     return;
   }
+  if (relay_collect) {
+    CollectExecAttestation(*result);
+    return;
+  }
   auto& pending =
       exec_results_[{result->exec_round, result->shard}];
   if (!pending.voters.insert(result->signer).second) return;
@@ -846,6 +1187,76 @@ void StatelessNodeActor::OnExecResult(const net::Message& msg) {
   // s_hash consistency was verified on entry, so every full result can
   // serve as the payload for its key.
   if (result->full) pending.payloads.emplace(key, *result);
+}
+
+void StatelessNodeActor::OnAggExecResult(const net::Message& msg) {
+  if (!in_oc_ || !system_->tree_mode()) return;
+  auto agg = AggregatedExecResult::Decode(msg.payload);
+  if (!agg.ok()) return;
+  if (agg->shard >=
+      static_cast<uint32_t>(system_->params().shard_count())) {
+    system_->obs_.rejected_bad_shard->Increment();
+    return;
+  }
+  if (agg->signers.empty() ||
+      agg->signers.size() != agg->signatures.size()) {
+    return;
+  }
+  for (const auto& signer : agg->signers) {
+    if (system_->stateless_keys_.count(signer) == 0) {
+      system_->obs_.rejected_unknown_signer->Increment();
+      return;
+    }
+  }
+  if (agg->has_payload &&
+      ExecResultMsg::HashSSet(agg->s_set) != agg->s_hash) {
+    system_->obs_.rejected_s_hash_mismatch->Increment();
+    return;
+  }
+  // One batch verification over the shared member signing bytes: the
+  // aggregate is exactly the relay's list of individual attestations, so
+  // each signature still verifies against its signer.
+  Bytes signing = agg->MemberSigningBytes();
+  std::vector<crypto::CryptoProvider::VerifyJob> jobs;
+  jobs.reserve(agg->signers.size());
+  for (size_t i = 0; i < agg->signers.size(); ++i) {
+    jobs.push_back({agg->signers[i], signing, agg->signatures[i]});
+  }
+  system_->obs_.runtime_verify_tasks->Add(jobs.size());
+  const std::vector<uint8_t> ok = system_->provider()->VerifyBatch(jobs);
+
+  auto& pending = exec_results_[{agg->exec_round, agg->shard}];
+  Encoder key_enc;
+  key_enc.PutFixed(ByteView(agg->new_root.data(), 32));
+  key_enc.PutFixed(ByteView(agg->s_hash.data(), 32));
+  std::string key(reinterpret_cast<const char*>(key_enc.buffer().data()),
+                  key_enc.buffer().size());
+  int accepted = 0;
+  for (size_t i = 0; i < agg->signers.size(); ++i) {
+    if (ok[i] == 0) {
+      system_->obs_.rejected_bad_exec_sig->Increment();
+      continue;
+    }
+    if (!pending.voters.insert(agg->signers[i]).second) continue;
+    pending.result_votes[key] += 1;
+    ++accepted;
+  }
+  if (accepted == 0) return;
+  if (agg->has_payload && pending.payloads.count(key) == 0) {
+    ExecResultMsg payload;
+    payload.exec_round = agg->exec_round;
+    payload.shard = agg->shard;
+    payload.new_root = agg->new_root;
+    payload.s_hash = agg->s_hash;
+    payload.full = true;
+    payload.s_set = agg->s_set;
+    payload.intra_applied = agg->intra_applied;
+    payload.cross_pre_executed = agg->cross_pre_executed;
+    pending.payloads.emplace(key, std::move(payload));
+  }
+  if (net_id_ == system_->leader_net_id_) {
+    system_->NoteExecPhaseEnd(agg->exec_round);
+  }
 }
 
 void StatelessNodeActor::MaybePropose() {
@@ -1046,7 +1457,7 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
             lane = tracer->RoundContext(v.instance);
             tracer->Instant(lane, "vote", TraceName());
           }
-          BroadcastToOc(kMsgVote, v.Encode(), lane);
+          RouteVote(v, lane);
           if (strategy_ == AdvStrategy::kEquivocate) {
             // Classic equivocation: a second, conflicting, *properly
             // signed* vote for a forged value right behind the honest one.
@@ -1064,7 +1475,7 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
             forged.signature = system_->provider()->Sign(
                 keys_.private_key, forged.SigningBytes());
             adv->NoteAction(strategy_, "equivocate_vote", TraceName());
-            BroadcastToOc(kMsgVote, forged.Encode(), lane);
+            RouteVote(forged, lane);
           }
         },
         [this](const consensus::DecisionCert& cert) { OnDecision(cert); });
@@ -1104,6 +1515,10 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
       system_->events()->ScheduleAfter(
           ba_->NextTimeoutDelay(), [this, st, tries, round] {
             if (ba_ && !ba_->decided() && current_round_ == round) {
+              // A firing timeout in tree mode means the vote relay is not
+              // delivering quorums: latch back to direct broadcast for the
+              // rest of the instance.
+              if (system_->tree_mode()) vote_relay_direct_ = true;
               ba_->OnTimeout();
               (*st)(tries - 1);
             }
@@ -1129,12 +1544,143 @@ void StatelessNodeActor::OnVote(const net::Message& msg) {
   if (!in_oc_) return;
   auto vote = consensus::Vote::Decode(msg.payload);
   if (!vote.ok()) return;
+  if (system_->tree_mode() && VoteRelayFor(vote->instance) == net_id_) {
+    // Relay duty rides alongside normal counting: pool the vote toward a
+    // compact certificate for the rest of the committee.
+    CollectVote(*vote);
+  }
   if (!ba_) {
     // Buffer votes that outrun the leader's proposal on a faster route.
     if (vote->instance == current_round_) pending_votes_.push_back(*vote);
     return;
   }
   ba_->OnVote(*vote);
+}
+
+// Tree-mode vote transport. Every OC member sends its votes to one elected
+// relay (rotating per instance, never the leader), which answers with a
+// CompactVoteCert carrying a whole quorum at once — collapsing the O(n^2)
+// vote mesh into O(n). Any sign of a dead relay degrades to the legacy
+// direct broadcast.
+net::NodeId StatelessNodeActor::VoteRelayFor(uint64_t instance) const {
+  const auto& oc = system_->oc_net_ids_;
+  if (oc.size() < 3) return net::kInvalidNode;
+  const size_t idx = static_cast<size_t>(instance % oc.size());
+  net::NodeId relay = oc[idx];
+  if (relay == system_->leader_net_id_) relay = oc[(idx + 1) % oc.size()];
+  return relay;
+}
+
+void StatelessNodeActor::RouteVote(const consensus::Vote& v,
+                                   obs::TraceContext lane) {
+  Bytes enc = v.Encode();
+  if (!system_->tree_mode() || vote_relay_direct_) {
+    BroadcastToOc(kMsgVote, enc, lane);
+    return;
+  }
+  net::NodeId relay = VoteRelayFor(v.instance);
+  if (relay == net::kInvalidNode || system_->network()->IsCrashed(relay)) {
+    BroadcastToOc(kMsgVote, enc, lane);
+    return;
+  }
+  if (relay == net_id_) {
+    CollectVote(v);  // Self-elected: pool locally, nothing on the wire.
+    return;
+  }
+  net::Message m;
+  m.from = net_id_;
+  m.to = relay;
+  m.kind = kMsgVote;
+  m.trace = lane;
+  m.wire_size = enc.size();
+  m.payload = std::move(enc);
+  system_->network()->Send(std::move(m));
+}
+
+void StatelessNodeActor::CollectVote(const consensus::Vote& v) {
+  std::string value_key(reinterpret_cast<const char*>(v.value.data()),
+                        v.value.size());
+  auto& agg = vote_agg_[{v.instance, v.step, v.kind, value_key}];
+  if (agg.emitted) return;
+  if (!agg.voters.insert(v.voter).second) return;
+  agg.votes.push_back(v);
+  // Same quorum rule as BA* (2f+1 of the committee): one cert carries the
+  // whole threshold, so a member counts a full quorum from one message.
+  const size_t quorum = system_->oc_keys_.size() * 2 / 3 + 1;
+  if (agg.votes.size() < quorum) return;
+  agg.emitted = true;
+  CompactVoteCert cert;
+  cert.instance = v.instance;
+  cert.step = v.step;
+  cert.kind = v.kind;
+  cert.value = v.value;
+  // Bitmap over the canonical committee order; signatures in ascending
+  // set-bit order so receivers can zip them back to their voters.
+  std::vector<std::pair<size_t, crypto::Signature>> indexed;
+  for (const auto& vote : agg.votes) {
+    for (size_t i = 0; i < system_->oc_keys_.size(); ++i) {
+      if (system_->oc_keys_[i] == vote.voter) {
+        indexed.push_back({i, vote.signature});
+        break;
+      }
+    }
+  }
+  std::sort(indexed.begin(), indexed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [bit, sig] : indexed) {
+    cert.bitmap |= uint64_t{1} << bit;
+    cert.signatures.push_back(sig);
+  }
+  Bytes enc = cert.Encode();
+  obs::TraceContext lane;
+  if (system_->tracer()->enabled()) {
+    lane = system_->tracer()->RoundContext(v.instance);
+  }
+  // The relay received (and already counted) every individual vote, so the
+  // cert only goes out — never back into our own BA* instance.
+  for (net::NodeId oc : system_->oc_net_ids_) {
+    if (oc == net_id_) continue;
+    net::Message m;
+    m.from = net_id_;
+    m.to = oc;
+    m.kind = kMsgVoteCert;
+    m.trace = lane;
+    m.payload = enc;
+    m.wire_size = cert.WireSize();
+    system_->network()->Send(std::move(m));
+  }
+}
+
+void StatelessNodeActor::OnVoteCert(const net::Message& msg) {
+  if (!in_oc_ || !system_->tree_mode()) return;
+  auto cert = CompactVoteCert::Decode(msg.payload);
+  if (!cert.ok()) return;
+  std::vector<consensus::Vote> votes = cert->ToVotes(system_->oc_keys_);
+  if (votes.empty()) return;
+  if (!ba_) {
+    // Same buffering rule as individual votes that outrun the proposal.
+    if (cert->instance == current_round_) {
+      pending_votes_.insert(pending_votes_.end(), votes.begin(),
+                            votes.end());
+    }
+    return;
+  }
+  ba_->OnVotes(votes);
+}
+
+void StatelessNodeActor::OnRelayAck(const net::Message& msg) {
+  auto ack = RelayAck::Decode(msg.payload);
+  if (!ack.ok()) return;
+  // Tree mode suppresses the broadcast self-echo; this ack replaces it as
+  // the delivery signal, named by payload digest. Settle the failover
+  // tracker so no retransmit chain keeps running for a delivered relay.
+  for (auto it = pending_reqs_.begin(); it != pending_reqs_.end(); ++it) {
+    if (it->second.kind != kMsgRelay) continue;
+    if (crypto::Sha256::Hash(it->second.payload) == ack->digest) {
+      pending_reqs_.erase(it);
+      return;
+    }
+  }
 }
 
 void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
@@ -1150,7 +1696,24 @@ void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
   if (system_->tracer()->enabled()) {
     lane = system_->tracer()->RoundContext(cert.instance);
   }
-  SendToAllStorages(kMsgCommit, enc, enc.size() + cert.WireSize(), lane);
+  if (system_->tree_mode()) {
+    // Storage gossip converges from any live entry point (OnCommit
+    // forwards to peers); two distinct connections give crash redundancy
+    // at a fraction of the m-way fan-out.
+    const size_t fanout = std::min<size_t>(2, storages_.size());
+    for (size_t i = 0; i < fanout; ++i) {
+      net::Message m;
+      m.from = net_id_;
+      m.to = storages_[i];
+      m.kind = kMsgCommit;
+      m.trace = lane;
+      m.payload = enc;
+      m.wire_size = enc.size() + cert.WireSize();
+      system_->network()->Send(std::move(m));
+    }
+  } else {
+    SendToAllStorages(kMsgCommit, enc, enc.size() + cert.WireSize(), lane);
+  }
 }
 
 }  // namespace porygon::core

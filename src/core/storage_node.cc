@@ -1,8 +1,11 @@
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/codec.h"
+#include "common/erasure.h"
 #include "common/log.h"
 #include "core/system.h"
+#include "crypto/sha256.h"
 
 namespace porygon::core {
 
@@ -96,8 +99,12 @@ void StorageNodeActor::OnRoundStart(uint64_t round) {
     // execution inputs arrive separately as per-shard ExecRequests ("both
     // the list and the state tree are not completely sent to each shard",
     // §IV-D2). The payload stays complete for implementation convenience;
-    // the bandwidth model charges what the node actually downloads.
-    m.wire_size = node->in_oc() ? prev_enc.size() : 256;
+    // the bandwidth model charges what the node actually downloads. Tree
+    // mode charges the compact header for OC members too: they already
+    // hold the decided block from consensus, so the round-start push only
+    // needs the digest confirming which tip the storage node committed.
+    m.wire_size = node->in_oc() && !system_->tree_mode() ? prev_enc.size()
+                                                         : 256;
     net->Send(std::move(m));
   }
 
@@ -277,10 +284,54 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
         IdKey(block->header.Id()));
   }
   if (reg != nullptr) {
+    const net::DisseminationSpec& diss = system_->dissemination();
     for (const tx::TransactionBlock* block : to_offer) {
       uint32_t shard = block->header.shard;
       auto it = reg->ec_by_shard.find(shard);
       if (it == reg->ec_by_shard.end()) continue;
+      const std::vector<net::NodeId>& members = it->second;
+      // Tree mode: erasure-code the body across the EC instead of shipping
+      // |EC| full copies. One chunk per member (n = |EC|, any chunk_k
+      // reconstruct); each member forwards its seed chunk to the next
+      // chunk_k peers, so our uplink carries |EC|/k bodies instead of
+      // |EC|. Small committees (no headroom over k) keep the direct ship.
+      const size_t min_members = static_cast<size_t>(
+          std::max(diss.chunk_n, diss.chunk_k + 2));
+      if (diss.tree() && members.size() >= min_members &&
+          members.size() <= erasure::kMaxChunks) {
+        const int k = diss.chunk_k;
+        const int n = static_cast<int>(members.size());
+        std::vector<Bytes> chunks;
+        if (withholds_bodies()) {
+          // Header-only chunks: receivers can never gather k payloads, the
+          // exact tree-mode analogue of the bodyless direct ship.
+          system_->adversary()->NoteAction(strategy_, "withhold_body",
+                                           TraceName(), /*trace=*/false);
+        } else {
+          auto encoded = erasure::Encode(block->Encode(), k, n);
+          if (encoded.ok()) chunks = std::move(*encoded);
+        }
+        for (size_t j = 0; j < members.size(); ++j) {
+          BodyChunk c;
+          c.round = round;
+          c.shard = shard;
+          c.header = block->header;
+          c.index = static_cast<uint16_t>(j);
+          c.k = static_cast<uint16_t>(k);
+          c.n = static_cast<uint16_t>(n);
+          c.peers = members;
+          if (!chunks.empty()) c.payload = chunks[j];
+          net::Message m;
+          m.from = net_id_;
+          m.to = members[j];
+          m.kind = kMsgBodyChunk;
+          if (tracing) m.trace = tracer->RoundContext(round);
+          m.wire_size = c.WireSize();
+          m.payload = c.Encode();
+          net->Send(std::move(m));
+        }
+        continue;
+      }
       // A withholding storage node ships headers with no bodies: members
       // cannot witness what they cannot download (Challenge 2).
       tx::TransactionBlock outgoing;
@@ -292,7 +343,7 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
         outgoing.transactions = block->transactions;
       }
       Bytes enc = outgoing.Encode();
-      for (net::NodeId member : it->second) {
+      for (net::NodeId member : members) {
         net::Message m;
         m.from = net_id_;
         m.to = member;
@@ -358,19 +409,96 @@ void StorageNodeActor::DistributeRoundWork(uint64_t round) {
       bundle.blocks.push_back(std::move(wb));
       last_push = round - 1;  // Joins batch round-1's listing window.
     }
-    Bytes enc = bundle.Encode();
-    for (net::NodeId oc : system_->oc_net_ids_) {
-      // Only the member's primary storage node ships the bundle.
-      const auto* member = system_->StatelessByNetId(oc);
-      if (member == nullptr || member->primary_storage() != net_id_) continue;
-      net::Message m;
-      m.from = net_id_;
-      m.to = oc;
-      m.kind = kMsgWitnessBundle;
-      if (tracing) m.trace = tracer->RoundContext(round - 1);
-      m.payload = enc;
-      m.wire_size = bundle.WireSize();
-      net->Send(std::move(m));
+    // Tree mode: hand the bundle to per-shard aggregation relays instead
+    // of pushing a full copy onto every served OC member's downlink. The
+    // election is the same arithmetic every honest node runs
+    // (Dissemination::AggregatorFor over the batch's EC), refined with a
+    // skip-scan past crashed and struck relays; if any shard has no viable
+    // relay left, the whole bundle degrades to the legacy direct push.
+    bool tree_routed = false;
+    if (system_->tree_mode() && !bundle.blocks.empty()) {
+      const int strike_limit = system_->dissemination().relay_strikes;
+      const auto* batch_reg = system_->RegistryFor(round - 1);
+      auto elect = [&](const std::vector<net::NodeId>& members)
+          -> net::NodeId {
+        if (members.size() < 2) return net::kInvalidNode;
+        int base = net::Dissemination::AggregatorIndex(members.size(),
+                                                       round - 1, 0);
+        if (base < 0) return net::kInvalidNode;
+        for (size_t off = 0; off < members.size(); ++off) {
+          net::NodeId cand =
+              members[(static_cast<size_t>(base) + off) % members.size()];
+          auto struck = relay_strikes_.find(cand);
+          if (struck != relay_strikes_.end() &&
+              struck->second >= strike_limit) {
+            continue;
+          }
+          if (net->IsCrashed(cand)) continue;
+          return cand;
+        }
+        return net::kInvalidNode;
+      };
+      if (batch_reg != nullptr) {
+        std::map<uint32_t, std::vector<WitnessedBlock>> by_shard;
+        for (const auto& wb : bundle.blocks) {
+          by_shard[wb.header.shard].push_back(wb);
+        }
+        std::map<uint32_t, net::NodeId> relays;
+        tree_routed = true;
+        for (const auto& [shard, blocks] : by_shard) {
+          auto mem = batch_reg->ec_by_shard.find(shard);
+          net::NodeId relay = mem == batch_reg->ec_by_shard.end()
+                                  ? net::kInvalidNode
+                                  : elect(mem->second);
+          if (relay == net::kInvalidNode) {
+            tree_routed = false;
+            break;
+          }
+          relays[shard] = relay;
+        }
+        if (tree_routed) {
+          for (auto& [shard, blocks] : by_shard) {
+            AggregatedWitness sub;
+            sub.batch_round = round - 1;
+            sub.shard = shard;
+            sub.aggregator = net_id_;
+            sub.blocks = std::move(blocks);
+            RelayAudit audit;
+            audit.listing_round = round;
+            audit.relay = relays[shard];
+            for (const auto& wb : sub.blocks) {
+              audit.block_ids.push_back(IdKey(wb.header.Id()));
+            }
+            pending_relay_audit_.push_back(std::move(audit));
+            net::Message m;
+            m.from = net_id_;
+            m.to = relays[shard];
+            m.kind = kMsgAggWitness;
+            if (tracing) m.trace = tracer->RoundContext(round - 1);
+            m.wire_size = sub.WireSize();
+            m.payload = sub.Encode();
+            net->Send(std::move(m));
+          }
+        }
+      }
+    }
+    if (!tree_routed) {
+      Bytes enc = bundle.Encode();
+      for (net::NodeId oc : system_->oc_net_ids_) {
+        // Only the member's primary storage node ships the bundle.
+        const auto* member = system_->StatelessByNetId(oc);
+        if (member == nullptr || member->primary_storage() != net_id_) {
+          continue;
+        }
+        net::Message m;
+        m.from = net_id_;
+        m.to = oc;
+        m.kind = kMsgWitnessBundle;
+        if (tracing) m.trace = tracer->RoundContext(round - 1);
+        m.payload = enc;
+        m.wire_size = bundle.WireSize();
+        net->Send(std::move(m));
+      }
     }
   }
 
@@ -502,9 +630,33 @@ void StorageNodeActor::OnRelay(const net::Message& msg) {
     case Relay::kToNode:
       if (relay->dest != net::kInvalidNode) forward(relay->dest);
       break;
-    case Relay::kToOrderingCommittee:
-      for (net::NodeId oc : system_->oc_net_ids_) forward(oc);
+    case Relay::kToOrderingCommittee: {
+      // Tree mode: an in-committee sender does not need its own broadcast
+      // echoed back as a full copy — suppress it and answer with a 40-byte
+      // digest ack instead, which the failover layer accepts as the same
+      // proof of delivery.
+      const bool ack_sender =
+          system_->tree_mode() &&
+          std::find(system_->oc_net_ids_.begin(), system_->oc_net_ids_.end(),
+                    msg.from) != system_->oc_net_ids_.end();
+      for (net::NodeId oc : system_->oc_net_ids_) {
+        if (ack_sender && oc == msg.from) continue;
+        forward(oc);
+      }
+      if (ack_sender) {
+        RelayAck ack;
+        ack.round = relay->round;
+        ack.digest = crypto::Sha256::Hash(msg.payload);
+        net::Message m;
+        m.from = net_id_;
+        m.to = msg.from;
+        m.kind = kMsgRelayAck;
+        m.wire_size = 40;
+        m.payload = ack.Encode();
+        net->Send(std::move(m));
+      }
       break;
+    }
     case Relay::kToShardCommittee: {
       const auto* reg = system_->RegistryFor(relay->round);
       if (reg == nullptr) break;
@@ -590,7 +742,9 @@ void StorageNodeActor::OnResync(const net::Message& msg) {
   m.to = msg.from;
   m.kind = kMsgNewRound;
   const StatelessNodeActor* node = system_->StatelessByNetId(msg.from);
-  m.wire_size = node != nullptr && node->in_oc() ? enc.size() : 256;
+  m.wire_size = node != nullptr && node->in_oc() && !system_->tree_mode()
+                    ? enc.size()
+                    : 256;
   m.payload = std::move(enc);
   system_->network()->Send(std::move(m));
 }
@@ -671,6 +825,40 @@ void StorageNodeActor::OnCommit(const net::Message& msg, bool from_gossip) {
   // candidates.
   for (const auto& shard_list : block->shard_tx_blocks) {
     for (const auto& id : shard_list) unlisted_blocks_.erase(IdKey(id));
+  }
+
+  // Tree mode: settle witness-relay audits against this listing. A relay
+  // whose aggregate dropped any of the blocks we offered it collects a
+  // strike (enough strikes and the election skips it); a clean listing
+  // resets. Audits whose window passed during an outage are dropped
+  // unjudged — we cannot tell a withholding relay from our own absence.
+  if (system_->tree_mode() && !pending_relay_audit_.empty()) {
+    std::unordered_set<std::string> listed;
+    for (const auto& shard_list : block->shard_tx_blocks) {
+      for (const auto& id : shard_list) listed.insert(IdKey(id));
+    }
+    for (auto it = pending_relay_audit_.begin();
+         it != pending_relay_audit_.end();) {
+      if (it->listing_round > block->round) {
+        ++it;
+        continue;
+      }
+      if (it->listing_round == block->round) {
+        bool all_listed = true;
+        for (const auto& id : it->block_ids) {
+          if (listed.count(id) == 0) {
+            all_listed = false;
+            break;
+          }
+        }
+        if (all_listed) {
+          relay_strikes_[it->relay] = 0;
+        } else {
+          ++relay_strikes_[it->relay];
+        }
+      }
+      it = pending_relay_audit_.erase(it);
+    }
   }
 
   system_->OnBlockCommitted(*block, system_->events()->now());

@@ -7,6 +7,7 @@
 #include "common/codec.h"
 #include "common/log.h"
 #include "net/fault.h"
+#include "net/topology.h"
 #include "obs/export.h"
 
 namespace porygon::core {
@@ -163,6 +164,12 @@ Status SystemOptions::Validate() const {
   }
   if (params.storage_probe_limit < 0) {
     return Status::InvalidArgument("storage_probe_limit must be >= 0");
+  }
+  PORYGON_RETURN_IF_ERROR(dissemination.Validate());
+  if (dissemination.tree() && oc_size > 64) {
+    // CompactVoteCert names voters with a 64-bit committee bitmap.
+    return Status::InvalidArgument(
+        "tree dissemination requires oc_size <= 64");
   }
   return Status::Ok();
 }
@@ -376,13 +383,21 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   adversary_ = std::make_unique<AdversaryController>(
       effective_adversary, &metrics_registry_, &tracer_);
 
+  // --- Nodes --------------------------------------------------------------
+  // One Topology materializes every node (storage first, then stateless);
+  // the actor loops below attach behavior to the prebuilt ids.
+  const net::Topology::Built built =
+      net::Topology()
+          .WithStorage(options_.num_storage_nodes, options_.params.storage_bps)
+          .WithStateless(options_.num_stateless_nodes,
+                         options_.params.stateless_bps)
+          .Materialize(network_.get());
+
   // --- Storage nodes ------------------------------------------------------
   const std::vector<AdvStrategy> storage_strategies =
       adversary_->PlaceStorage(options_.num_storage_nodes);
   for (int i = 0; i < options_.num_storage_nodes; ++i) {
-    net::NodeId nid = network_->AddNode(
-        {options_.params.storage_bps, options_.params.storage_bps},
-        "storage");
+    net::NodeId nid = built.storage_ids[static_cast<size_t>(i)];
     auto actor = std::make_unique<StorageNodeActor>(this, i, nid,
                                                     storage_strategies[i]);
     StorageNodeActor* raw = actor.get();
@@ -430,9 +445,7 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
       adversary_->PlaceStateless(order, options_.oc_size, leader_idx);
 
   for (int i = 0; i < options_.num_stateless_nodes; ++i) {
-    net::NodeId nid = network_->AddNode(
-        {options_.params.stateless_bps, options_.params.stateless_bps},
-        "stateless");
+    net::NodeId nid = built.stateless_ids[static_cast<size_t>(i)];
     // m random storage connections (with one honest among them whp).
     std::vector<net::NodeId> conns;
     int m = std::min(options_.params.storage_connections,
@@ -754,6 +767,30 @@ void PorygonSystem::StartRound(uint64_t round) {
     if (round >= 2) AdvanceExecState(round - 2);
   } else {
     AdvanceExecState(round - 1);
+  }
+  // Tree mode: label this round's base witness-relay election "relay" so
+  // the bandwidth ledger and critical-path reports attribute their links
+  // separately (observability only — senders re-run the election with
+  // strike/crash skips, so a degraded round may route past these nodes).
+  if (tree_mode()) {
+    for (net::NodeId prev : labeled_relays_) {
+      network_->SetNodeRole(prev, "stateless");
+    }
+    labeled_relays_.clear();
+    if (const RoundRegistry* reg = RegistryFor(round - 1)) {
+      for (const auto& [shard, members] : reg->ec_by_shard) {
+        net::NodeId relay =
+            net::Dissemination::AggregatorFor(members, round - 1, 0);
+        // Never clobber the OC labels — an OC member moonlighting as a
+        // relay keeps its (rarer, more load-bearing) committee role.
+        if (relay == net::kInvalidNode ||
+            network_->RoleName(relay) != "stateless") {
+          continue;
+        }
+        network_->SetNodeRole(relay, "relay");
+        labeled_relays_.push_back(relay);
+      }
+    }
   }
   for (auto& storage : storage_nodes_) {
     // A crashed storage node neither announces the round nor packages

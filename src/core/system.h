@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/params.h"
 #include "core/pipeline.h"
 #include "crypto/provider.h"
+#include "net/dissemination.h"
 #include "net/network.h"
 #include "obs/critical_path.h"
 #include "obs/metrics.h"
@@ -80,6 +82,12 @@ struct SystemOptions {
   /// empty = honest. Mutually exclusive with the legacy fractions above,
   /// which are converted into the equivalent silent/withhold spec.
   AdversarySpec adversary;
+  /// Message-flow shaping for the run (see net/dissemination.h): `direct`
+  /// is the legacy leader-centric star and is byte-identical to builds
+  /// that predate the strategy layer; `tree` routes witness bundles,
+  /// exec-result votes, and BA* votes through per-shard aggregation
+  /// relays and erasure-codes body propagation across each EC.
+  net::DisseminationSpec dissemination;
   /// Mean stateless-node session length in seconds (0 = nodes never
   /// leave) — churn experiments (Fig 8d). Expired nodes skip a round to
   /// "rejoin", then resume with a fresh session. Porygon tolerates this
@@ -246,6 +254,21 @@ class StorageNodeActor {
   // whatever survives a crash -> rejoin cycle is orphaned (its witness
   // bundle died with us) and its transactions are re-queued into the pool.
   std::map<std::string, uint64_t> unlisted_blocks_;
+
+  // --- Tree dissemination (storage side) ---------------------------------
+  // Sub-bundles handed to witness relays, settled against the committed
+  // listing of `listing_round` in OnCommit: an aggregate that dropped any
+  // of our offered blocks strikes its relay; a clean listing resets. A
+  // relay with >= DisseminationSpec::relay_strikes strikes is skipped at
+  // election time, and with every candidate struck or crashed the sender
+  // degrades to the legacy direct bundle push.
+  struct RelayAudit {
+    uint64_t listing_round = 0;
+    net::NodeId relay = net::kInvalidNode;
+    std::vector<std::string> block_ids;
+  };
+  std::vector<RelayAudit> pending_relay_audit_;
+  std::map<net::NodeId, int> relay_strikes_;
 };
 
 /// A stateless node: ~5 MB footprint, joins committees by VRF, witnesses,
@@ -297,6 +320,40 @@ class StatelessNodeActor {
   /// the true values), triggering a re-request from another connection.
   bool VerifyStateResponse(const StateResponse& resp) const;
   void RunExecution();
+
+  // --- Tree-dissemination paths (net::DisseminationMode::kTree only) -----
+  /// Erasure-coded body chunk: store, forward our seed chunk to the next k
+  /// mesh peers, and reconstruct + witness once k+1 chunks arrived.
+  void OnBodyChunk(const net::Message& msg);
+  /// Shared tail of OnTxBlock / chunk reassembly: verify the body against
+  /// its header, hold it, and upload witness proofs to all connections.
+  void WitnessBody(tx::TransactionBlock block, uint64_t round,
+                   obs::TraceContext trace);
+  /// Relay-side attestation pool: flushed as one AggregatedExecResult to
+  /// every OC member once enough distinct signers agree on one key.
+  void CollectExecAttestation(const ExecResultMsg& result);
+  /// Elected vote relay for a BA* instance (rotates; never the leader;
+  /// kInvalidNode for committees too small to benefit).
+  net::NodeId VoteRelayFor(uint64_t instance) const;
+  /// Sends a vote to the elected relay (tree mode) or broadcasts it
+  /// (direct mode, degraded relay, or relay self-election).
+  void RouteVote(const consensus::Vote& v, obs::TraceContext lane);
+  /// Vote-relay pool: emits one CompactVoteCert per (instance, step, kind,
+  /// value) the moment it reaches quorum.
+  void CollectVote(const consensus::Vote& v);
+  /// Witness aggregate: as the elected relay, merge storage sub-bundles
+  /// and flush one aggregate to the leader; as the leader, merge into
+  /// bundles_ (detecting relay equivocation) and maybe propose.
+  void OnAggWitness(const net::Message& msg);
+  /// Flushes this node's merged witness aggregate for (batch, shard) to
+  /// the OC leader (deadline event or all-senders-arrived trigger).
+  void FlushWitnessAgg(uint64_t batch_round, uint32_t shard);
+  /// Batched exec-result attestations (relay -> OC member).
+  void OnAggExecResult(const net::Message& msg);
+  /// Compact BA* vote certificate (vote relay -> OC member).
+  void OnVoteCert(const net::Message& msg);
+  /// Tree-mode delivery ack replacing the suppressed broadcast echo.
+  void OnRelayAck(const net::Message& msg);
 
   // --- OC paths ---------------------------------------------------------
   void OnWitnessBundle(const net::Message& msg);
@@ -421,6 +478,54 @@ class StatelessNodeActor {
   tx::ProposalBlock pending_proposal_;  // Leader's own proposal content.
   std::map<std::string, tx::ProposalBlock> proposals_seen_;  // By hash.
   std::optional<crypto::Hash256> decided_hash_;
+
+  // --- Tree dissemination state (kTree only; empty in direct runs) --------
+  // EC-side chunk reassembly, by block id: chunks received so far plus the
+  // header to validate the reconstruction against. Pruned on round change.
+  struct ChunkState {
+    tx::TransactionBlockHeader header{};
+    uint16_t k = 0;
+    uint16_t n = 0;
+    std::vector<std::optional<Bytes>> chunks;
+    size_t have = 0;
+    bool done = false;       ///< Reconstructed (or arrived whole).
+    bool forwarded = false;  ///< Our seed chunk went to the mesh peers.
+  };
+  std::map<std::string, ChunkState> chunk_state_;
+  // Witness-relay scratch (this node elected for a shard): merged blocks
+  // per (batch round, shard), flushed to the leader when all storage
+  // sub-bundles arrived or the deadline event fires.
+  struct WitnessAgg {
+    std::map<std::string, WitnessedBlock> blocks;  // By block id.
+    std::set<net::NodeId> senders;
+    bool flushed = false;
+    bool deadline_armed = false;
+  };
+  std::map<std::pair<uint64_t, uint32_t>, WitnessAgg> witness_agg_;
+  // Leader-side relay-equivocation detection: first aggregate hash seen
+  // per (batch round, shard, aggregator).
+  std::map<std::tuple<uint64_t, uint32_t, net::NodeId>, crypto::Hash256>
+      agg_seen_;
+  // Exec-result attestation relay scratch: attestations per result key
+  // (root || s_hash) for (exec round, shard); a key flushes once when it
+  // reaches the aggregation target.
+  struct ExecAgg {
+    std::map<std::string, std::vector<ExecResultMsg>> by_key;
+    std::set<std::string> flushed_keys;
+  };
+  std::map<std::pair<uint64_t, uint32_t>, ExecAgg> exec_agg_;
+  // Vote-relay scratch: votes per (instance, step, kind, value), emitted
+  // as one CompactVoteCert at quorum.
+  struct VoteAgg {
+    std::vector<consensus::Vote> votes;
+    std::set<crypto::PublicKey> voters;
+    bool emitted = false;
+  };
+  std::map<std::tuple<uint64_t, uint32_t, uint8_t, std::string>, VoteAgg>
+      vote_agg_;
+  // Degradation latch: a BA* step timeout firing in tree mode means the
+  // vote relay may be eating votes — this node's later votes go direct.
+  bool vote_relay_direct_ = false;
 };
 
 /// Builds and drives a full Porygon deployment over the discrete-event
@@ -752,7 +857,18 @@ class PorygonSystem {
   net::NodeId leader_net_id_ = net::kInvalidNode;
   std::vector<crypto::PublicKey> oc_keys_;
   std::vector<net::NodeId> oc_net_ids_;
+  // Tree mode: nodes currently labeled "relay" for critical-path / link
+  // attribution (base witness-relay election for the round; observability
+  // only — senders re-run the election with strike/crash skips).
+  std::vector<net::NodeId> labeled_relays_;
   uint64_t next_account_hint_ = 1;
+
+ public:
+  /// True when the run disseminates via aggregation relay trees.
+  bool tree_mode() const { return options_.dissemination.tree(); }
+  const net::DisseminationSpec& dissemination() const {
+    return options_.dissemination;
+  }
 };
 
 }  // namespace porygon::core

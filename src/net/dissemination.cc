@@ -1,0 +1,126 @@
+#include "net/dissemination.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/erasure.h"
+
+namespace porygon::net {
+
+namespace {
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+const char* DisseminationModeName(DisseminationMode mode) {
+  switch (mode) {
+    case DisseminationMode::kDirect: return "direct";
+    case DisseminationMode::kTree: return "tree";
+  }
+  return "direct";
+}
+
+Result<DisseminationSpec> DisseminationSpec::Parse(const std::string& spec) {
+  DisseminationSpec out;
+  bool saw_mode = false;
+  for (const std::string& clause : SplitOn(spec, ',')) {
+    if (clause.empty()) continue;
+    auto bad = [&] {
+      return Status::InvalidArgument("bad dissemination clause: " + clause);
+    };
+    if (!saw_mode) {
+      // The first clause names the mode, like the workload grammar's model
+      // head clause.
+      if (clause == "direct") out.mode = DisseminationMode::kDirect;
+      else if (clause == "tree") out.mode = DisseminationMode::kTree;
+      else return bad();
+      saw_mode = true;
+      continue;
+    }
+    if (!out.tree()) return bad();
+    std::vector<std::string> f = SplitOn(clause, ':');
+    const std::string& key = f[0];
+    if (key == "chunks" && f.size() == 2) {
+      std::vector<std::string> kn = SplitOn(f[1], '/');
+      if (kn.size() != 2 || !ParseInt(kn[0], &out.chunk_k) ||
+          !ParseInt(kn[1], &out.chunk_n)) {
+        return bad();
+      }
+    } else if (key == "strikes" && f.size() == 2) {
+      if (!ParseInt(f[1], &out.relay_strikes)) return bad();
+    } else {
+      return bad();
+    }
+  }
+  if (!saw_mode) {
+    return Status::InvalidArgument(
+        "dissemination spec needs a mode head clause (direct|tree)");
+  }
+  PORYGON_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+std::string DisseminationSpec::ToString() const {
+  std::string s = DisseminationModeName(mode);
+  if (tree()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",chunks:%d/%d,strikes:%d", chunk_k,
+                  chunk_n, relay_strikes);
+    s += buf;
+  }
+  return s;
+}
+
+Status DisseminationSpec::Validate() const {
+  if (!tree()) return Status::Ok();
+  if (chunk_k < 2 || chunk_n <= chunk_k || chunk_n > erasure::kMaxChunks) {
+    return Status::InvalidArgument(
+        "dissemination: chunks need 2 <= k < n <= 255");
+  }
+  if (relay_strikes < 1) {
+    return Status::InvalidArgument("dissemination: strikes must be >= 1");
+  }
+  return Status::Ok();
+}
+
+bool operator==(const DisseminationSpec& a, const DisseminationSpec& b) {
+  return a.mode == b.mode && a.chunk_k == b.chunk_k &&
+         a.chunk_n == b.chunk_n && a.relay_strikes == b.relay_strikes;
+}
+
+int Dissemination::AggregatorIndex(size_t members, uint64_t round,
+                                   uint64_t stripe) {
+  if (members < 2) return -1;  // Aggregating for one receiver saves nothing.
+  return static_cast<int>((round + stripe) % members);
+}
+
+NodeId Dissemination::AggregatorFor(const std::vector<NodeId>& members,
+                                    uint64_t round, uint64_t stripe) {
+  int idx = AggregatorIndex(members.size(), round, stripe);
+  return idx < 0 ? kInvalidNode : members[static_cast<size_t>(idx)];
+}
+
+}  // namespace porygon::net

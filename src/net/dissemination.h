@@ -1,0 +1,102 @@
+#ifndef PORYGON_NET_DISSEMINATION_H_
+#define PORYGON_NET_DISSEMINATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+
+namespace porygon::net {
+
+/// How fan-in/fan-out message flows are shaped. kDirect is the legacy
+/// leader-centric star (every sender talks to every receiver); kTree routes
+/// high-volume flows through per-shard aggregation relays and erasure-coded
+/// chunk meshes so no single link carries the whole fan-in.
+enum class DisseminationMode : uint8_t {
+  kDirect = 0,
+  kTree = 1,
+};
+
+/// Stable lowercase name used in the `--dissemination=` grammar
+/// ("direct" / "tree").
+const char* DisseminationModeName(DisseminationMode mode);
+
+/// Declarative description of the run's dissemination strategy. Like
+/// AdversarySpec / FaultPlan, a spec is pure data: parsed from a CLI
+/// string, built programmatically in tests, stamped into bench envelopes,
+/// and replayed. It introduces no randomness at all — relay election and
+/// chunk placement are arithmetic over (round, shard, index) — so `direct`
+/// runs stay byte-identical to builds that predate the abstraction.
+struct DisseminationSpec {
+  DisseminationMode mode = DisseminationMode::kDirect;
+  /// Erasure-coding geometry for tree-mode body propagation: bodies are
+  /// split into `chunk_k` data chunks plus `chunk_n - chunk_k` parity
+  /// chunks; any chunk_k of chunk_n reconstruct (common/erasure.h).
+  int chunk_k = 4;
+  int chunk_n = 6;
+  /// Consecutive rounds a relay may fail to deliver before the senders
+  /// stop routing through it and fall back to direct fan-out (rides the
+  /// strike bookkeeping introduced by the storage-failover machinery).
+  int relay_strikes = 2;
+
+  bool tree() const { return mode == DisseminationMode::kTree; }
+
+  /// Parses a CLI spec: a mode head clause followed by optional
+  /// comma-separated parameter clauses, mirroring `--faults=` /
+  /// `--adversary=`:
+  ///
+  ///   direct                     legacy star (default; no parameters)
+  ///   tree                       relay trees + erasure-coded bodies
+  ///   chunks:<k>/<n>             erasure geometry (default 4/6)
+  ///   strikes:<n>                relay strikes before direct fallback
+  ///
+  /// e.g. "tree" or "tree,chunks:3/5,strikes:1". Returns kInvalidArgument
+  /// naming the bad clause (parameter clauses on "direct" are rejected —
+  /// direct has nothing to configure, and silently ignoring them would
+  /// mask typos).
+  static Result<DisseminationSpec> Parse(const std::string& spec);
+
+  /// Canonical round-trippable form (Parse(ToString()) == *this).
+  std::string ToString() const;
+
+  /// Range checks (2 <= k < n <= 255, strikes >= 1); surfaced through
+  /// SystemOptions::Validate.
+  Status Validate() const;
+};
+
+bool operator==(const DisseminationSpec& a, const DisseminationSpec& b);
+inline bool operator!=(const DisseminationSpec& a, const DisseminationSpec& b) {
+  return !(a == b);
+}
+
+/// Strategy object handed to the actors. Stateless aside from the spec:
+/// every election is a pure function of (committee, round, stripe), so any
+/// two honest nodes with the same round registry agree on the relay set
+/// without extra messages, and rotation-by-round bounds how long a
+/// Byzantine relay can sit on a path even before strikes kick in.
+class Dissemination {
+ public:
+  explicit Dissemination(DisseminationSpec spec) : spec_(spec) {}
+
+  const DisseminationSpec& spec() const { return spec_; }
+  bool tree() const { return spec_.tree(); }
+
+  /// Index into `members` of the aggregation relay for (round, stripe);
+  /// stripe distinguishes co-resident flows (witness vs exec vs vote) so
+  /// they do not all pile onto one member. Returns -1 when members is
+  /// empty or aggregation cannot help (fewer than 2 members).
+  static int AggregatorIndex(size_t members, uint64_t round, uint64_t stripe);
+
+  /// Convenience: the elected relay NodeId, or kInvalidNode.
+  static NodeId AggregatorFor(const std::vector<NodeId>& members,
+                              uint64_t round, uint64_t stripe);
+
+ private:
+  DisseminationSpec spec_;
+};
+
+}  // namespace porygon::net
+
+#endif  // PORYGON_NET_DISSEMINATION_H_

@@ -1,0 +1,37 @@
+#include "net/topology.h"
+
+namespace porygon::net {
+
+Topology Topology::Scaled(int shard_bits, int nodes_per_shard) {
+  Topology t;
+  t.storage_nodes_ = 2;
+  t.stateless_nodes_ = (1 << shard_bits) * nodes_per_shard;
+  return t;
+}
+
+Topology& Topology::WithStorage(int count, double bps) {
+  storage_nodes_ = count;
+  storage_link_ = {bps, bps};
+  return *this;
+}
+
+Topology& Topology::WithStateless(int count, double bps) {
+  stateless_nodes_ = count;
+  stateless_link_ = {bps, bps};
+  return *this;
+}
+
+Topology::Built Topology::Materialize(SimNetwork* net) const {
+  Built built;
+  built.storage_ids.reserve(static_cast<size_t>(storage_nodes_));
+  for (int i = 0; i < storage_nodes_; ++i) {
+    built.storage_ids.push_back(net->AddNode(storage_link_, "storage"));
+  }
+  built.stateless_ids.reserve(static_cast<size_t>(stateless_nodes_));
+  for (int i = 0; i < stateless_nodes_; ++i) {
+    built.stateless_ids.push_back(net->AddNode(stateless_link_, "stateless"));
+  }
+  return built;
+}
+
+}  // namespace porygon::net

@@ -1,0 +1,51 @@
+#ifndef PORYGON_NET_TOPOLOGY_H_
+#define PORYGON_NET_TOPOLOGY_H_
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace porygon::net {
+
+/// Declarative deployment shape shared by the system constructor and the
+/// bench drivers: how many nodes of each class ride on which links. One
+/// builder replaces the node/link setup block every driver used to copy.
+///
+/// Node id order is part of the contract: storage nodes are materialized
+/// first, then stateless nodes — the id arithmetic the rest of the stack
+/// (committee election, gossip peers, failover rotation) assumes.
+class Topology {
+ public:
+  /// The paper's standard scaled deployment: `1 << shard_bits` shards at
+  /// `nodes_per_shard` stateless nodes each over two storage nodes, with
+  /// the default home-connection (1 MB/s) and datacenter (100 MB/s) links.
+  static Topology Scaled(int shard_bits, int nodes_per_shard = 10);
+
+  Topology& WithStorage(int count, double bps);
+  Topology& WithStateless(int count, double bps);
+
+  int storage_nodes() const { return storage_nodes_; }
+  int stateless_nodes() const { return stateless_nodes_; }
+  double storage_bps() const { return storage_link_.uplink_bps; }
+  double stateless_bps() const { return stateless_link_.uplink_bps; }
+
+  /// Ids of the nodes one Materialize call created, by class.
+  struct Built {
+    std::vector<NodeId> storage_ids;
+    std::vector<NodeId> stateless_ids;
+  };
+
+  /// Adds every node to `net` (storage first, then stateless) with its
+  /// class's symmetric link and role label, and returns the ids.
+  Built Materialize(SimNetwork* net) const;
+
+ private:
+  int storage_nodes_ = 2;
+  int stateless_nodes_ = 100;
+  LinkSpec storage_link_{100e6, 100e6};
+  LinkSpec stateless_link_{1e6, 1e6};
+};
+
+}  // namespace porygon::net
+
+#endif  // PORYGON_NET_TOPOLOGY_H_

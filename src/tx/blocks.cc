@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/wire.h"
 #include "crypto/merkle.h"
 
 namespace porygon::tx {
@@ -90,26 +91,30 @@ bool TransactionBlock::BodyMatchesHeader() const {
 }
 
 Bytes TransactionBlock::Encode() const {
-  Encoder enc;
-  enc.PutBytes(header.Encode());
-  enc.PutVarint(transactions.size());
-  for (const auto& t : transactions) enc.PutFixed(t.Encode());
-  return enc.TakeBuffer();
+  wire::Writer w;
+  w.Blob(header.Encode()).Varint(transactions.size());
+  for (const auto& t : transactions) w.Raw(t.Encode());
+  return w.Take();
 }
 
 Result<TransactionBlock> TransactionBlock::Decode(ByteView data) {
-  Decoder dec(data);
   TransactionBlock block;
-  PORYGON_ASSIGN_OR_RETURN(Bytes header_raw, dec.GetBytes());
+  wire::Reader r(data);
+  ByteView header_raw;
+  uint64_t count = 0;
+  // Borrowed-view header read: relay/chunk reassembly paths decode bodies
+  // out of buffers they already own, so the nested header needs no copy.
+  r.BlobView(&header_raw).Varint(&count);
+  PORYGON_RETURN_IF_ERROR(r.status());
   PORYGON_ASSIGN_OR_RETURN(block.header,
                            TransactionBlockHeader::Decode(header_raw));
-  PORYGON_ASSIGN_OR_RETURN(uint64_t count, dec.GetVarint());
   block.transactions.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    PORYGON_ASSIGN_OR_RETURN(Transaction t, Transaction::DecodeFrom(&dec));
+    PORYGON_ASSIGN_OR_RETURN(Transaction t,
+                             Transaction::DecodeFrom(r.decoder()));
     block.transactions.push_back(std::move(t));
   }
-  if (!dec.Done()) return Status::Corruption("trailing block bytes");
+  PORYGON_RETURN_IF_ERROR(r.Finish("block"));
   return block;
 }
 

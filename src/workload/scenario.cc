@@ -47,6 +47,12 @@ Result<std::string> RunScenarioCell(const ScenarioCell& cell,
                              core::AdversarySpec::Parse(cell.adversary));
     PORYGON_RETURN_IF_ERROR(sys_opt.Validate());
   }
+  if (!cell.dissemination.empty()) {
+    PORYGON_ASSIGN_OR_RETURN(
+        sys_opt.dissemination,
+        net::DisseminationSpec::Parse(cell.dissemination));
+    PORYGON_RETURN_IF_ERROR(sys_opt.Validate());
+  }
 
   core::PorygonSystem sys(sys_opt);
   if (!cell.faults.empty()) {
@@ -84,6 +90,7 @@ Result<std::string> RunScenarioCell(const ScenarioCell& cell,
          (cell.adversary.empty() ? std::string()
                                  : sys_opt.adversary.ToString()) +
          "\"";
+  row += ",\"dissemination\":\"" + sys_opt.dissemination.ToString() + "\"";
   row += ",\"model\":" + model->Describe();
   row += ",\"arrival\":" + arrival->Describe();
   row += ",\"rounds\":" + std::to_string(opt.rounds);
@@ -145,6 +152,12 @@ std::vector<ScenarioCell> DefaultScenarioMatrix() {
     cells.push_back({w, faults, ""});
     cells.push_back({w, "", adversary});
   }
+  // Tree dissemination rides the matrix too: the aggregation-relay
+  // strategy under the two headline workloads, clean and adversarial, so
+  // snapshots track both strategies' throughput over time.
+  cells.push_back({uniform, "", "", "tree"});
+  cells.push_back({zipf, "", "", "tree"});
+  cells.push_back({uniform, "", adversary, "tree"});
   return cells;
 }
 

@@ -9,13 +9,15 @@
 namespace porygon::workload {
 
 /// One cell of the scenario matrix: a workload spec crossed with optional
-/// fault-injection and adversary specs. Each spec uses its subsystem's
-/// clause grammar (workload::Spec, net::FaultPlan, core::AdversarySpec);
-/// empty means "none".
+/// fault-injection, adversary, and dissemination specs. Each spec uses its
+/// subsystem's clause grammar (workload::Spec, net::FaultPlan,
+/// core::AdversarySpec, net::DisseminationSpec); empty means "none" (for
+/// dissemination: the default direct strategy).
 struct ScenarioCell {
   std::string workload;
   std::string faults;
   std::string adversary;
+  std::string dissemination;
 };
 
 /// Deployment shape and load shared by every cell of one matrix run.
