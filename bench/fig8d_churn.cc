@@ -33,18 +33,24 @@ int main(int argc, char** argv) {
   for (double session_s : {15.0, 30.0, 60.0, 120.0, 0.0 /* = infinite */}) {
     double porygon_tps = 0;
     {
-      core::SystemOptions opt;
-      opt.params.shard_bits = shard_bits;
-      opt.params.witness_threshold = 2;
-      opt.params.execution_threshold = 2;
+      // The standard scaled topology (4 shards x 12 stateless nodes over
+      // the two-node storage tier) instead of the hand-rolled counts; the
+      // cross-cutting --dissemination= / --adversary= / --faults= specs
+      // apply uniformly like every other bench driver.
+      core::SystemOptions opt = bench::ScaledOptions(shard_bits, 12);
       opt.params.block_tx_limit = 1000;
-      opt.num_storage_nodes = 2;
-      opt.num_stateless_nodes = 48;
       opt.oc_size = 6;
-      opt.blocks_per_shard_round = 2;
       opt.mean_session_s = session_s;
       opt.seed = 17;
+      if (Status applied = args.ApplyOptions(&opt); !applied.ok()) {
+        std::fprintf(stderr, "%s\n", applied.ToString().c_str());
+        return 2;
+      }
       core::PorygonSystem sys(opt);
+      if (Status armed = args.ApplyFaults(&sys); !armed.ok()) {
+        std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+        return 2;
+      }
       sys.CreateAccountsLazy(base_spec.num_accounts, 1'000'000);
       workload::Spec spec = base_spec;
       spec.shard_bits = shard_bits;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Performance snapshot: runs the scenario matrix plus the fig8c
-# throughput/latency sweep and writes BENCH_<n>.json at the repo root,
+# Performance snapshot: runs the scenario matrix, the fig8c
+# throughput/latency sweep, and a 200-round chaos soak (whose liveness
+# stats land under "soak") and writes BENCH_<n>.json at the repo root,
 # where <n> is one past the highest committed snapshot. If a previous
 # snapshot exists, every matrix cell's simulated throughput is compared
 # against it and the script FAILS LOUD on any cell regressing more than
@@ -41,12 +42,24 @@ echo "== scenario matrix =="
 echo "== fig8c throughput/latency =="
 "$BUILD_DIR"/bench/fig8c_throughput_latency "$tmp/fig8c.json"
 
-python3 - "$tmp/matrix.json" "$tmp/fig8c.json" "$out" "$prev" <<'PY'
+echo "== chaos soak (liveness stats) =="
+"$BUILD_DIR"/bench/soak --rounds=200 --epoch-length=25 --seed=1 --tps=2 \
+  --faults='loss:0.02,dup:0.02,jitter:300' \
+  --adversary='stateless:equivocate,storage:withhold' \
+  --out="$tmp/soak.json"
+
+python3 - "$tmp/matrix.json" "$tmp/fig8c.json" "$tmp/soak.json" "$out" "$prev" <<'PY'
 import json, sys
 
-matrix_path, fig8c_path, out_path, prev_path = sys.argv[1:5]
+matrix_path, fig8c_path, soak_path, out_path, prev_path = sys.argv[1:6]
 matrix = json.load(open(matrix_path))
 fig8c = json.load(open(fig8c_path))
+soak = json.load(open(soak_path))
+
+# The soak leg is a liveness snapshot, not a perf row: it must have run its
+# full horizon violation-free before its stats are worth recording.
+if soak.get("violations"):
+    sys.exit(f"soak reported violations: {soak['violations']}")
 
 # Critical-path attribution fields are part of the snapshot contract: every
 # matrix row must carry the dominant segment/edge, the OC-leader downlink
@@ -65,6 +78,9 @@ snapshot = {
     "schema": 1,
     "scenario_matrix": matrix["rows"],
     "fig8c": fig8c,
+    "soak": {k: soak[k] for k in ("rounds_completed", "epochs_completed",
+                                  "invariant_checks", "committed_txs",
+                                  "max_commit_gap_s", "tps")},
     "bench": {"matrix_wall_ms": matrix["bench"]["wall_ms"]},
 }
 with open(out_path, "w") as f:

@@ -40,6 +40,17 @@ run_suite() {
     --workload=zipf:0.99,accounts:1000000 \
     --out="$dir"/scenario_smoke.json >/dev/null
   grep -q '"committed_txs":' "$dir"/scenario_smoke.json
+  # Epoch + soak suites: committee reconfiguration determinism and the
+  # chaos-harness spec/replay/invariant plumbing.
+  ctest --test-dir "$dir" -R 'Epoch|Soak' --output-on-failure
+  # Chaos-soak smoke: 200 rounds of faults + Byzantine adversary across 8
+  # committee reconfigurations, with the clean-reference safety cross-check
+  # and liveness bounds live the whole way. Must end violation-free.
+  "$dir"/bench/soak --rounds=200 --epoch-length=25 --seed=1 --tps=2 \
+    --faults='loss:0.02,dup:0.02,jitter:300' \
+    --adversary='stateless:equivocate,storage:withhold' \
+    --out="$dir"/soak_smoke.json | grep -q 'OK: zero invariant violations'
+  grep -q '"violations":\[\]' "$dir"/soak_smoke.json
 }
 
 echo "== plain build + ctest =="

@@ -51,6 +51,49 @@ size_t DecisionCert::WireSize() const {
   return 8 + 32 + votes.size() * (8 + 4 + 1 + 32 + 32 + 64);
 }
 
+Bytes DecisionCert::Encode() const {
+  Encoder enc;
+  enc.PutU64(instance);
+  enc.PutFixed(ByteView(value.data(), value.size()));
+  enc.PutU32(static_cast<uint32_t>(votes.size()));
+  for (const Vote& v : votes) {
+    enc.PutU64(v.instance);
+    enc.PutU32(v.step);
+    enc.PutU8(v.kind);
+    enc.PutFixed(ByteView(v.value.data(), v.value.size()));
+    enc.PutFixed(ByteView(v.voter.data(), v.voter.size()));
+    enc.PutFixed(ByteView(v.signature.data(), v.signature.size()));
+  }
+  return enc.TakeBuffer();
+}
+
+Result<DecisionCert> DecisionCert::Decode(ByteView data) {
+  Decoder dec(data);
+  DecisionCert cert;
+  PORYGON_ASSIGN_OR_RETURN(cert.instance, dec.GetU64());
+  PORYGON_ASSIGN_OR_RETURN(Bytes value, dec.GetFixed(32));
+  std::memcpy(cert.value.data(), value.data(), 32);
+  PORYGON_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  if (n > 4096) return Status::Corruption("oversized cert");
+  cert.votes.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Vote v;
+    PORYGON_ASSIGN_OR_RETURN(v.instance, dec.GetU64());
+    PORYGON_ASSIGN_OR_RETURN(v.step, dec.GetU32());
+    PORYGON_ASSIGN_OR_RETURN(v.kind, dec.GetU8());
+    if (v.kind > Vote::kCert) return Status::Corruption("bad vote kind");
+    PORYGON_ASSIGN_OR_RETURN(Bytes vv, dec.GetFixed(32));
+    std::memcpy(v.value.data(), vv.data(), 32);
+    PORYGON_ASSIGN_OR_RETURN(Bytes voter, dec.GetFixed(32));
+    std::memcpy(v.voter.data(), voter.data(), 32);
+    PORYGON_ASSIGN_OR_RETURN(Bytes sig, dec.GetFixed(64));
+    std::memcpy(v.signature.data(), sig.data(), 64);
+    cert.votes.push_back(std::move(v));
+  }
+  if (!dec.Done()) return Status::Corruption("trailing cert bytes");
+  return cert;
+}
+
 bool BaStar::Key::operator<(const Key& o) const {
   if (step != o.step) return step < o.step;
   if (kind != o.kind) return kind < o.kind;
@@ -146,6 +189,30 @@ void BaStar::OnVotes(const std::vector<Vote>& votes) {
 }
 
 void BaStar::Count(const Vote& vote) {
+  // Step synchronization: a valid vote from a later step means the rest of
+  // the committee timed out past us (our copy of their earlier traffic was
+  // lost or withheld). Steps only ever advance on local timers, so without
+  // this fast-forward a delivery-skewed committee holds a permanent step
+  // offset and no step ever assembles a same-step quorum — the instance
+  // livelocks. Jump to the leader step and re-vote the strongest value
+  // there (the same choice OnTimeout would make).
+  if (vote.step > step_ && !decided_) {
+    step_ = vote.step;
+    cert_voted_ = false;
+    if (instruments_.registry != nullptr) {
+      instruments_.registry->GetCounter("consensus.step_syncs")->Increment();
+    }
+    crypto::Hash256 best = proposal_;
+    size_t best_count = 0;
+    for (const auto& [key, supporters] : tally_) {
+      if (key.kind == Vote::kSoft && supporters.size() > best_count) {
+        best_count = supporters.size();
+        best = key.value;
+      }
+    }
+    CastVote(Vote::kSoft, best);
+    if (decided_) return;  // Our own catch-up vote completed a quorum.
+  }
   // First vote per (voter, step, kind) wins: equivocation is inert for
   // the tally. But a *conflicting* second vote passed the same signature
   // and membership checks as the first, so the pair is attributable
@@ -212,6 +279,34 @@ void BaStar::RecordEquivocation(const Vote& second) {
   ev.second = second;
   evidence_.push_back(ev);
   if (evidence_sink_) evidence_sink_(evidence_.back());
+}
+
+bool BaStar::AdoptCert(const DecisionCert& cert) {
+  if (!started_ || decided_) return false;
+  if (cert.instance != instance_) return false;
+  std::set<crypto::PublicKey> voters;
+  for (const Vote& v : cert.votes) {
+    if (v.instance != instance_ || v.kind != Vote::kCert) return false;
+    if (v.value != cert.value) return false;
+    if (!IsMember(v.voter)) return false;
+    if (!voters.insert(v.voter).second) return false;  // Duplicate voter.
+    if (!provider_->Verify(v.voter, v.SigningBytes(), v.signature)) {
+      return false;
+    }
+  }
+  if (voters.size() < QuorumSize()) return false;
+  decided_ = true;
+  decision_value_ = cert.value;
+  if (instruments_.decisions != nullptr) instruments_.decisions->Increment();
+  if (instruments_.registry != nullptr) {
+    instruments_.registry->GetCounter("consensus.cert_adoptions")->Increment();
+  }
+  if (tracer_ != nullptr && trace_span_ != 0) {
+    tracer_->EndSpan(trace_span_);
+    trace_span_ = 0;
+  }
+  on_decision_(cert);
+  return true;
 }
 
 void BaStar::OnTimeout() {

@@ -62,6 +62,8 @@ struct DecisionCert {
   std::vector<Vote> votes;
 
   size_t WireSize() const;
+  Bytes Encode() const;
+  static Result<DecisionCert> Decode(ByteView data);
 };
 
 /// Message-driven BA★ instance for one committee and one decision.
@@ -157,9 +159,19 @@ class BaStar {
   /// support (fallback for lossy/adversarial schedules).
   void OnTimeout();
 
+  /// Adopts a transferable decision certificate: verifies the cert as a
+  /// unit (a cert-quorum of distinct committee signatures over the same
+  /// value) and decides on it directly. Certs deliberately bypass the
+  /// per-vote equivocation dedup — an equivocator whose salted cert vote
+  /// reached us first has burned its (step, cert) slot in the tally, so a
+  /// valid quorum that includes that voter's honest vote could never be
+  /// re-assembled vote-by-vote. Returns true if the cert was adopted.
+  bool AdoptCert(const DecisionCert& cert);
+
   bool decided() const { return decided_; }
   const crypto::Hash256& decision() const { return decision_value_; }
   uint64_t instance() const { return instance_; }
+  uint32_t step() const { return step_; }
   /// Votes needed for a quorum: floor(2n/3) + 1.
   size_t QuorumSize() const { return committee_.size() * 2 / 3 + 1; }
 

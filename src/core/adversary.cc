@@ -181,7 +181,8 @@ std::vector<AdvStrategy> AdversaryController::PlaceStorage(int count) const {
 }
 
 std::vector<AdvStrategy> AdversaryController::PlaceStateless(
-    const std::vector<int>& order, int oc_size, int leader_idx) const {
+    const std::vector<int>& order, int oc_size, int leader_idx,
+    uint64_t epoch) const {
   std::vector<AdvStrategy> out(order.size(), AdvStrategy::kHonest);
   if (spec_.stateless == AdvStrategy::kHonest || order.empty()) return out;
   const int budget =
@@ -203,9 +204,11 @@ std::vector<AdvStrategy> AdversaryController::PlaceStateless(
   // Remainder lands uniformly on non-OC nodes via the spec's private
   // placement stream (partial Fisher-Yates) — independent of the system
   // RNG, so enabling an adversary never re-deals protocol randomness.
+  // The epoch ordinal is folded in so every committee reconfiguration
+  // re-deals placement; epoch 0 keeps the historical genesis stream.
   std::vector<int> rest(order.begin() + std::min<size_t>(oc_size, order.size()),
                         order.end());
-  Rng rng(spec_.seed ^ 0x5e1ec700u);
+  Rng rng(spec_.seed ^ 0x5e1ec700u ^ (epoch * 0x9e3779b97f4a7c15ull));
   for (size_t i = 0; i < rest.size() && placed < budget; ++i) {
     size_t j = i + rng.NextBelow(rest.size() - i);
     std::swap(rest[i], rest[j]);

@@ -103,14 +103,20 @@ class AdversaryController {
   std::vector<AdvStrategy> PlaceStorage(int count) const;
 
   /// Strategy per stateless node index. `order` is the node indices
-  /// sorted ascending by genesis sortition (the first oc_size entries
-  /// form the ordering committee); `leader_idx` is never corrupted so
-  /// the honest-leader chain is byte-comparable to the clean run. The
-  /// OC share of the budget (floor(alpha * oc_size)) corrupts the
-  /// lowest-sorted non-leader OC members; the remainder is spread over
-  /// non-OC nodes by the spec's private placement RNG.
+  /// sorted ascending by sortition for the draw in force (genesis, or an
+  /// epoch boundary's re-draw — see PorygonSystem::ReconfigureEpoch; the
+  /// first oc_size entries form the ordering committee); `leader_idx` is
+  /// never corrupted so the honest-leader chain is byte-comparable to the
+  /// clean run. The OC share of the budget (floor(alpha * oc_size))
+  /// corrupts the lowest-sorted non-leader OC members; the remainder is
+  /// spread over non-OC nodes by the spec's private placement RNG.
+  /// `epoch` is mixed into that private stream so each reconfiguration
+  /// re-deals placement (epoch 0 reproduces the genesis placement of
+  /// builds that predate epochs); the budget bounds (alpha, the leader
+  /// exemption) hold for every epoch value.
   std::vector<AdvStrategy> PlaceStateless(const std::vector<int>& order,
-                                          int oc_size, int leader_idx) const;
+                                          int oc_size, int leader_idx,
+                                          uint64_t epoch = 0) const;
 
   /// Deterministic forged content: a hash over a domain tag, up to three
   /// ordinals, and the spec seed. Pure function — safe to call from

@@ -71,6 +71,7 @@ int PhaseOfKind(uint16_t kind) {
     case kMsgVote:
     case kMsgAggWitness:
     case kMsgVoteCert:
+    case kMsgDecisionCert:
       return 1;  // Ordering.
     case kMsgExecRequest:
     case kMsgStateRequest:
@@ -109,6 +110,7 @@ const char* MsgKindName(uint16_t kind) {
     case kMsgAggExecResult: return "agg_exec_result";
     case kMsgVoteCert: return "vote_cert";
     case kMsgRelayAck: return "relay_ack";
+    case kMsgDecisionCert: return "decision_cert";
     default: return "unknown";
   }
 }

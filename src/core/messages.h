@@ -43,6 +43,7 @@ enum MsgKind : uint16_t {
   kMsgAggExecResult = 19, ///< relay -> OC: batched exec-result votes.
   kMsgVoteCert = 20,      ///< vote relay -> OC: compact bitmap vote cert.
   kMsgRelayAck = 21,      ///< storage -> sender: relay-delivery digest ack.
+  kMsgDecisionCert = 22,  ///< OC member -> OC members: transferable cert.
 };
 
 /// Maps a message kind to the pipeline phase whose budget it spends

@@ -44,6 +44,7 @@ StatelessNodeActor::StatelessNodeActor(PorygonSystem* system, int index,
       keys_(std::move(keys)),
       storages_(std::move(storages)),
       strategy_(strategy),
+      ever_malicious_(strategy != AdvStrategy::kHonest),
       in_oc_(in_oc) {
   heard_at_.assign(storages_.size(), 0);
   // Arm the round watchdog from birth: a node whose very first NewRound is
@@ -273,7 +274,18 @@ void StatelessNodeActor::OnWatchdog() {
     return;
   }
   --resync_budget_;
-  RotatePrimary();
+  // Rotate only when the current primary is either demonstrably silent or
+  // was already given a resync this stall and produced nothing. If a
+  // per-request strike rotation just moved us onto a live storage node,
+  // resync it first — rotating blindly here can bounce straight back onto
+  // the dead one (the two rotation sources alternate in lockstep).
+  const bool primary_silent =
+      primary_idx_ < heard_at_.size() &&
+      heard_at_[primary_idx_] + p.storage_timeout_us <= now;
+  if (primary_silent || watchdog_resynced_idx_ == static_cast<int>(primary_idx_)) {
+    RotatePrimary();
+  }
+  watchdog_resynced_idx_ = static_cast<int>(primary_idx_);
   system_->obs_.failover_resyncs->Increment();
   SendResync(storages_[primary_idx_]);
   system_->events()->ScheduleAfter(p.storage_watchdog_us,
@@ -346,6 +358,9 @@ void StatelessNodeActor::HandleMessage(const net::Message& msg) {
     case kMsgVote:
       OnVote(msg);
       break;
+    case kMsgDecisionCert:
+      OnDecisionCert(msg);
+      break;
     case kMsgExecResult:
       OnExecResult(msg);
       break;
@@ -386,6 +401,7 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
   // stall deadline out; the (single) watchdog chain is armed lazily here.
   last_new_round_at_ = system_->events()->now();
   resync_budget_ = system_->params().storage_resync_budget;
+  watchdog_resynced_idx_ = -1;  // New stall, fresh "who did we ask" slate.
   if (!watchdog_armed_) {
     watchdog_armed_ = true;
     system_->events()->ScheduleAfter(system_->params().storage_watchdog_us,
@@ -425,6 +441,7 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
     pending_votes_.clear();
     proposed_this_round_ = false;
     decided_hash_.reset();
+    decided_cert_.reset();
     proposals_seen_.clear();
     // Bound memory: bundles/results older than the pipeline depth are dead.
     while (!bundles_.empty() && bundles_.begin()->first + 4 < round) {
@@ -496,6 +513,69 @@ void StatelessNodeActor::OnNewRound(const tx::ProposalBlock& prev_block,
   announce.proof = assignment_->proof;
   announce.node_id = net_id_;
   SendToAllStorages(kMsgRoleAnnounce, announce.Encode());
+}
+
+// --------------------------------------------------------------------------
+// Epoch reconfiguration (called by PorygonSystem::ReconfigureEpoch)
+// --------------------------------------------------------------------------
+
+void StatelessNodeActor::RetireFromOc() {
+  // Every OC message handler guards on in_oc_, so in-flight committee
+  // traffic addressed to this node is shed harmlessly after the flip.
+  in_oc_ = false;
+  ba_.reset();
+  pending_votes_.clear();
+  proposed_this_round_ = false;
+  pending_proposal_ = tx::ProposalBlock{};
+  proposals_seen_.clear();
+  decided_hash_.reset();
+  decided_cert_.reset();
+  bundles_.clear();
+  exec_results_.clear();
+  vote_agg_.clear();
+  agg_seen_.clear();
+  vote_relay_direct_ = false;
+  coordinator_.reset();
+  // EC-side state (held_blocks_, exec_task_, assignment_) survives: a
+  // drafted-out member may still owe an earlier cohort its execution.
+}
+
+void StatelessNodeActor::JoinOc(
+    std::unique_ptr<CrossShardCoordinator> handoff) {
+  in_oc_ = true;
+  ba_.reset();
+  pending_votes_.clear();
+  proposed_this_round_ = false;
+  pending_proposal_ = tx::ProposalBlock{};
+  proposals_seen_.clear();
+  decided_hash_.reset();
+  decided_cert_.reset();
+  vote_relay_direct_ = false;
+  if (handoff != nullptr) {
+    coordinator_ = std::move(handoff);
+  } else {
+    coordinator_ = std::make_unique<CrossShardCoordinator>(
+        system_->params().shard_bits,
+        system_->params().cross_shard_retry_rounds);
+  }
+  // Re-bind observability to this owner (a handed-off coordinator still
+  // traces under the outgoing leader's name otherwise).
+  coordinator_->EnableTracing(system_->tracer(), TraceName());
+  coordinator_->set_rejected_counter(system_->obs_.rejected_unlocked_update);
+}
+
+void StatelessNodeActor::AdoptOcHandoff(
+    const std::map<uint64_t, std::map<std::string, WitnessedBlock>>& bundles,
+    const std::map<std::pair<uint64_t, uint32_t>, PendingExec>& results) {
+  // emplace keeps this node's own copies on conflict: a continuing member
+  // promoted to leader already holds identical content by OC broadcast.
+  for (const auto& [round, blocks] : bundles) {
+    auto& mine = bundles_[round];
+    for (const auto& [id, block] : blocks) mine.emplace(id, block);
+  }
+  for (const auto& [key, pending] : results) {
+    exec_results_.emplace(key, pending);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -1497,34 +1577,50 @@ void StatelessNodeActor::StartConsensus(const tx::ProposalBlock& proposal) {
     // pool; counting order is the buffer order, as before).
     ba_->OnVotes(pending_votes_);
     pending_votes_.clear();
-    // Timeout driver: re-step while undecided. The driver function holds
-    // itself only weakly — each scheduled event keeps a strong reference, so
-    // the chain dies with the last pending event instead of leaking through
-    // a shared_ptr cycle.
+    // Timeout driver: re-drive while the round is open. Undecided, each
+    // firing re-steps BA* — and the leader re-broadcasts its proposal: a
+    // member whose copy was lost can buffer votes but never join the
+    // instance, and a small committee with an equivocator may be unable
+    // to decide one member short. Decided, each firing re-publishes the
+    // decision cert (and, at the leader, the commit) until the round
+    // actually advances — any single hand-off or commit message can be
+    // lost or withheld. The driver function holds itself only weakly —
+    // each scheduled event keeps a strong reference, so the chain dies
+    // with the last pending event instead of leaking through a
+    // shared_ptr cycle.
     auto schedule_timeout = std::make_shared<std::function<void(int)>>();
     *schedule_timeout = [this, wst = std::weak_ptr<std::function<void(int)>>(
                                    schedule_timeout),
                          round = current_round_](int tries) {
-      if (tries <= 0 || !ba_ || ba_->decided() || current_round_ != round) {
-        return;
-      }
+      if (tries <= 0 || !ba_ || current_round_ != round) return;
       std::shared_ptr<std::function<void(int)>> st = wst.lock();
       if (!st) return;
       // Capped exponential backoff: the delay doubles with the retry step
       // (min(phase_interval << step, consensus_backoff_cap_us)).
       system_->events()->ScheduleAfter(
           ba_->NextTimeoutDelay(), [this, st, tries, round] {
-            if (ba_ && !ba_->decided() && current_round_ == round) {
+            if (!ba_ || current_round_ != round) return;
+            if (ba_->decided()) {
+              PublishDecision();
+            } else {
               // A firing timeout in tree mode means the vote relay is not
               // delivering quorums: latch back to direct broadcast for the
               // rest of the instance.
               if (system_->tree_mode()) vote_relay_direct_ = true;
+              if (net_id_ == system_->leader_net_id_) {
+                obs::TraceContext lane;
+                if (system_->tracer()->enabled()) {
+                  lane = system_->tracer()->RoundContext(round);
+                }
+                BroadcastToOc(kMsgProposal, pending_proposal_.Encode(),
+                              lane);
+              }
               ba_->OnTimeout();
-              (*st)(tries - 1);
             }
+            (*st)(tries - 1);
           });
     };
-    (*schedule_timeout)(8);
+    (*schedule_timeout)(12);
   }
 }
 
@@ -1555,6 +1651,16 @@ void StatelessNodeActor::OnVote(const net::Message& msg) {
     return;
   }
   ba_->OnVote(*vote);
+}
+
+void StatelessNodeActor::OnDecisionCert(const net::Message& msg) {
+  if (!in_oc_ || !ba_ || ba_->decided()) return;
+  auto cert = consensus::DecisionCert::Decode(msg.payload);
+  if (!cert.ok()) return;
+  // AdoptCert verifies the quorum signatures and, on success, fires the
+  // decision callback — so OnDecision/PublishDecision run exactly as if we
+  // had assembled the quorum ourselves (the leader publishes the commit).
+  ba_->AdoptCert(*cert);
 }
 
 // Tree-mode vote transport. Every OC member sends its votes to one elected
@@ -1685,7 +1791,32 @@ void StatelessNodeActor::OnRelayAck(const net::Message& msg) {
 
 void StatelessNodeActor::OnDecision(const consensus::DecisionCert& cert) {
   decided_hash_ = cert.value;
+  decided_cert_ = cert;
   system_->RecordOrderingDecision(cert.instance);
+  PublishDecision();
+}
+
+void StatelessNodeActor::PublishDecision() {
+  if (!decided_cert_.has_value()) return;
+  const consensus::DecisionCert& cert = *decided_cert_;
+  // Decisions are transferable: broadcast the deciding certificate to the
+  // committee as one self-certifying unit. A decided member stops voting,
+  // so when the other members' copies of the cert votes were lost or
+  // withheld, a lone partial decision would otherwise strand the rest of
+  // the instance — including a leader that still owes storage the commit —
+  // forever. Shipping the cert whole (instead of replaying its votes
+  // through the tally) matters under equivocation: a member that counted
+  // the equivocator's salted cert vote first has burned that (step, cert)
+  // slot and could never re-assemble the quorum vote-by-vote. The timeout
+  // driver calls back in here while the round stays open, so the hand-off
+  // (and the leader's commit below) survives any one loss.
+  {
+    obs::TraceContext lane;
+    if (system_->tracer()->enabled()) {
+      lane = system_->tracer()->RoundContext(cert.instance);
+    }
+    BroadcastToOc(kMsgDecisionCert, cert.Encode(), lane);
+  }
   // The leader publishes the committed block (with its certificate) to its
   // connected storage nodes; gossip spreads it.
   if (net_id_ != system_->leader_net_id_) return;

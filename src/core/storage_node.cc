@@ -171,9 +171,15 @@ void StorageNodeActor::OnRoleAnnounce(const net::Message& msg,
   claimed.shard = a->shard;
   claimed.sortition = a->sortition;
   claimed.proof = a->proof;
+  // Per-round EC announces draw against the execution thresholds;
+  // epoch-boundary OC announces (ReconfigureEpoch) against the ordering
+  // thresholds with no shard bits.
+  const bool ordering = static_cast<Role>(a->role) == Role::kOrdering;
   if (!Sortition::Verify(system_->provider(), a->node_key, a->round,
-                         system_->chain().back().Hash(), 0.0, 1.0,
-                         system_->params().shard_bits, claimed)) {
+                         system_->chain().back().Hash(),
+                         ordering ? 1.0 : 0.0, ordering ? 0.0 : 1.0,
+                         ordering ? 0 : system_->params().shard_bits,
+                         claimed)) {
     // Announcements referencing an older tip can fail the hash check during
     // handoff; tolerate only exact-match proofs.
     return;

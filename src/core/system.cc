@@ -70,6 +70,10 @@ Status SystemOptions::Validate() const {
   if (blocks_per_shard_round < 1) {
     return Status::InvalidArgument("blocks_per_shard_round must be >= 1");
   }
+  if (epoch_length == 1) {
+    return Status::InvalidArgument(
+        "epoch_length must be 0 (disabled) or >= 2");
+  }
   if (!fraction(malicious_storage_fraction)) {
     return Status::InvalidArgument(
         "malicious_storage_fraction outside [0,1]");
@@ -314,6 +318,7 @@ PorygonSystem::PorygonSystem(const SystemOptions& options)
   obs_.failover_requeued_txs =
       metrics_registry_.GetCounter("core.failover.requeued_txs");
   obs_.storage_rejoins = metrics_registry_.GetCounter("core.storage_rejoins");
+  obs_.epochs = metrics_registry_.GetCounter("core.epochs");
   // Compute-pool fan-out. Task counts are index counts — deterministic for
   // any thread configuration; wall time is volatile (kept off the exports).
   obs_.runtime_exec_tasks =
@@ -636,6 +641,14 @@ void PorygonSystem::RegisterAnnounce(const RoleAnnounce& announce) {
         members.end()) {
       members.push_back(announce.node_id);
     }
+  } else if (static_cast<Role>(announce.role) == Role::kOrdering) {
+    // Epoch-boundary OC announces (per-round EC announces never carry
+    // kOrdering — the genesis OC is implicit).
+    auto& members = reg.oc_members;
+    if (std::find(members.begin(), members.end(), announce.node_id) ==
+        members.end()) {
+      members.push_back(announce.node_id);
+    }
   }
   // Bound memory.
   while (!registry_.empty() && registry_.begin()->first + 6 < announce.round) {
@@ -737,6 +750,145 @@ void PorygonSystem::AdvanceExecState(uint64_t exec_round) {
   }
 }
 
+void PorygonSystem::ReconfigureEpoch(uint64_t round) {
+  // Re-run VRF sortition over the committed tip — the §III-B committee
+  // re-formation. Pure function of (tip hash, node keys, adversary spec):
+  // nothing is drawn from rng_, so enabling epochs perturbs no other
+  // randomness and exports stay byte-identical across thread counts.
+  const crypto::Hash256 tip = chain_.back().Hash();
+  const size_t n = stateless_nodes_.size();
+  std::vector<Assignment> draws(n);
+  std::vector<int> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    draws[i] = Sortition::Assign(provider_.get(),
+                                 stateless_nodes_[i]->keys_.private_key,
+                                 round, tip, 1.0, 0.0, 0);
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return draws[a].sortition < draws[b].sortition;
+  });
+  std::set<int> new_oc;
+  for (size_t i = 0; i < order.size() &&
+                     static_cast<int>(new_oc.size()) < options_.oc_size;
+       ++i) {
+    new_oc.insert(order[i]);
+  }
+  const int leader_idx = order[0];
+  StatelessNodeActor* new_leader = stateless_nodes_[leader_idx].get();
+
+  StatelessNodeActor* old_leader = nullptr;
+  for (auto& node : stateless_nodes_) {
+    if (node->net_id() == leader_net_id_) {
+      old_leader = node.get();
+      break;
+    }
+  }
+
+  // Re-deal adversary placement for the new membership: same α budget and
+  // placement rules, keyed by the epoch ordinal, with the incoming leader
+  // exempt (the honest proposal stream stays comparable to the clean run).
+  const uint64_t epoch = round / options_.epoch_length;
+  const std::vector<AdvStrategy> strategies =
+      adversary_->PlaceStateless(order, options_.oc_size, leader_idx, epoch);
+  for (size_t i = 0; i < n; ++i) {
+    stateless_nodes_[i]->strategy_ = strategies[i];
+    if (strategies[i] != AdvStrategy::kHonest) {
+      stateless_nodes_[i]->ever_malicious_ = true;
+    }
+  }
+
+  // Leadership hand-off, captured before membership churn: the outgoing
+  // leader's coordinator carries the locked S-sets and retry bookkeeping
+  // still in flight across the boundary, and its bundle / exec-result
+  // pools cover batches witnessed under the previous committee that the
+  // incoming leader must still list (pipeline depth 3).
+  std::unique_ptr<CrossShardCoordinator> handoff;
+  std::map<uint64_t, std::map<std::string, WitnessedBlock>> handoff_bundles;
+  std::map<std::pair<uint64_t, uint32_t>, StatelessNodeActor::PendingExec>
+      handoff_results;
+  const bool leader_changed =
+      old_leader != nullptr && old_leader != new_leader;
+  if (leader_changed) {
+    handoff = std::move(old_leader->coordinator_);
+    handoff_bundles = old_leader->bundles_;
+    handoff_results = old_leader->exec_results_;
+  }
+
+  // Membership churn. Retiring members shed their OC scratch (their
+  // in_oc_ guards then drop stale committee traffic); joiners get fresh
+  // scratch plus a coordinator — the hand-off one for a fresh leader.
+  for (size_t i = 0; i < n; ++i) {
+    StatelessNodeActor* node = stateless_nodes_[i].get();
+    const bool member = new_oc.count(static_cast<int>(i)) > 0;
+    if (node->in_oc_ && !member) {
+      node->RetireFromOc();
+      network_->SetNodeRole(node->net_id(), "stateless");
+    } else if (!node->in_oc_ && member) {
+      std::unique_ptr<CrossShardCoordinator> coord;
+      if (node == new_leader) coord = std::move(handoff);
+      node->JoinOc(std::move(coord));
+    }
+  }
+  if (handoff != nullptr) {
+    // The incoming leader was already an OC member: swap the hand-off
+    // coordinator in for its own (the locked S-sets live only there).
+    new_leader->coordinator_ = std::move(handoff);
+    new_leader->coordinator_->EnableTracing(&tracer_,
+                                            new_leader->TraceName());
+    new_leader->coordinator_->set_rejected_counter(
+        obs_.rejected_unlocked_update);
+  }
+  if (leader_changed) {
+    new_leader->AdoptOcHandoff(handoff_bundles, handoff_results);
+    if (old_leader->in_oc_ && old_leader->coordinator_ == nullptr) {
+      // The demoted leader stays a plain member: restore the
+      // every-member-owns-a-coordinator construction invariant.
+      old_leader->coordinator_ = std::make_unique<CrossShardCoordinator>(
+          options_.params.shard_bits,
+          options_.params.cross_shard_retry_rounds);
+      old_leader->coordinator_->EnableTracing(&tracer_,
+                                              old_leader->TraceName());
+      old_leader->coordinator_->set_rejected_counter(
+          obs_.rejected_unlocked_update);
+    }
+  }
+
+  // Canonical committee ordering (ascending node index — the CompactVoteCert
+  // bitmap and BA* quorum math both key off this order), leader identity,
+  // and bandwidth-ledger role labels.
+  oc_keys_.clear();
+  oc_net_ids_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (new_oc.count(static_cast<int>(i)) == 0) continue;
+    oc_keys_.push_back(stateless_nodes_[i]->keys_.public_key);
+    oc_net_ids_.push_back(stateless_nodes_[i]->net_id());
+  }
+  leader_net_id_ = new_leader->net_id();
+  for (net::NodeId nid : oc_net_ids_) {
+    network_->SetNodeRole(nid, nid == leader_net_id_ ? "oc_leader" : "oc");
+  }
+
+  // Every member of the new committee re-announces kOrdering over the
+  // network: storage nodes verify the sortition proof against the same tip
+  // and record the membership (and the modeled wire traffic lands in this
+  // round's critical-path window).
+  for (size_t i = 0; i < n; ++i) {
+    if (new_oc.count(static_cast<int>(i)) == 0) continue;
+    StatelessNodeActor* node = stateless_nodes_[i].get();
+    RoleAnnounce announce;
+    announce.round = round;
+    announce.role = static_cast<uint8_t>(Role::kOrdering);
+    announce.shard = draws[i].shard;
+    announce.sortition = draws[i].sortition;
+    announce.node_key = node->keys_.public_key;
+    announce.proof = draws[i].proof;
+    announce.node_id = node->net_id();
+    node->SendToAllStorages(kMsgRoleAnnounce, announce.Encode());
+  }
+  obs_.epochs->Increment();
+}
+
 void PorygonSystem::StartRound(uint64_t round) {
   round_start_times_[round] = events_.now();
   critical_path_.BeginRound(round, events_.now());
@@ -760,6 +912,14 @@ void PorygonSystem::StartRound(uint64_t round) {
     witness_spans_[round] =
         tracer_.BeginSpan(RoundLane(round), "witness", "system");
   }
+  // Epoch boundary: re-draw the committee before any of this round's work
+  // is distributed (the new OC must be in place for witness bundles and
+  // proposals of round `round`), and after the ledger snapshot above so
+  // the re-announce traffic is attributed to this round's window.
+  if (options_.epoch_length > 0 && round > 0 &&
+      round % options_.epoch_length == 0) {
+    ReconfigureEpoch(round);
+  }
   // Advance the canonical state. Fast mode leads by one round (results are
   // pre-computed for adopting ESCs); faithful mode lags so state requests
   // during this round serve the snapshot the executing ESC must see.
@@ -774,7 +934,11 @@ void PorygonSystem::StartRound(uint64_t round) {
   // strike/crash skips, so a degraded round may route past these nodes).
   if (tree_mode()) {
     for (net::NodeId prev : labeled_relays_) {
-      network_->SetNodeRole(prev, "stateless");
+      // An epoch boundary may have just promoted last round's relay into
+      // the OC; only reset nodes still wearing the relay label.
+      if (network_->RoleName(prev) == "relay") {
+        network_->SetNodeRole(prev, "stateless");
+      }
     }
     labeled_relays_.clear();
     if (const RoundRegistry* reg = RegistryFor(round - 1)) {
@@ -1056,6 +1220,11 @@ size_t PorygonSystem::RegisteredEcMembers(uint64_t round) const {
     n += members.size();
   }
   return n;
+}
+
+size_t PorygonSystem::RegisteredOcMembers(uint64_t round) const {
+  auto it = registry_.find(round);
+  return it == registry_.end() ? 0 : it->second.oc_members.size();
 }
 
 std::vector<obs::LinkWindow> PorygonSystem::LinkWindowsSince(

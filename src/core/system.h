@@ -53,6 +53,15 @@ struct SystemOptions {
   int oc_size = 10;
   /// Transaction blocks each storage node packages per shard per round.
   size_t blocks_per_shard_round = 2;
+  /// Epoch length in rounds; 0 disables epochs (the historical single
+  /// static committee assignment — byte-identical to builds that predate
+  /// them). When > 0, every `epoch_length`-th round start re-runs VRF
+  /// sortition over the committed tip to re-draw the OC (and its leader),
+  /// re-deals adversary placement for the new membership, migrates the
+  /// coordinator's in-flight locked S-sets to the new leader, and has the
+  /// new members re-announce their roles over the network — §III-B's
+  /// periodic committee re-formation. Must be 0 or >= 2.
+  uint64_t epoch_length = 0;
   /// Deterministic seed for keys, topology, jitter, adversary placement.
   uint64_t seed = 1;
   /// Worker threads for the compute pool (shard execution, batch signature
@@ -296,6 +305,10 @@ class StatelessNodeActor {
   size_t primary_index() const { return primary_idx_; }
   bool in_oc() const { return in_oc_; }
   bool malicious() const { return strategy_ != AdvStrategy::kHonest; }
+  /// True if any epoch's placement ever corrupted this node. Evidence
+  /// records outlive re-deals, so "evidence only against malicious nodes"
+  /// must be judged against the whole history, not the current strategy.
+  bool ever_malicious() const { return ever_malicious_; }
   AdvStrategy strategy() const { return strategy_; }
   /// Modeled storage footprint in bytes (Fig 9a): latest proposal block,
   /// committee public keys, and transiently-held witnessed block bodies.
@@ -359,17 +372,45 @@ class StatelessNodeActor {
   void OnWitnessBundle(const net::Message& msg);
   void OnProposal(const net::Message& msg);
   void OnVote(const net::Message& msg);
+  void OnDecisionCert(const net::Message& msg);
   void OnExecResult(const net::Message& msg);
   void MaybePropose();
   void BroadcastToOc(uint16_t kind, const Bytes& payload,
                      obs::TraceContext trace = {});
   void StartConsensus(const tx::ProposalBlock& proposal);
   void OnDecision(const consensus::DecisionCert& cert);
+  /// (Re)broadcasts the stored decision cert to the committee; the leader
+  /// also (re)publishes the committed block to storage. Called on first
+  /// decision and again from the timeout driver while the round is open.
+  void PublishDecision();
 
   void SendToPrimary(uint16_t kind, Bytes payload, size_t wire_size = 0,
                      obs::TraceContext trace = {});
   void SendToAllStorages(uint16_t kind, const Bytes& payload,
                          size_t wire_size = 0, obs::TraceContext trace = {});
+
+  // --- Epoch reconfiguration (driven by PorygonSystem::ReconfigureEpoch) --
+  struct PendingExec;  // Defined in the OC-state section below.
+  /// Drops out of the ordering committee: clears every piece of OC scratch
+  /// (consensus instance, vote buffers, bundles, exec-result pools, relay
+  /// aggregation state) and releases the coordinator. EC-side state
+  /// (held blocks, a pending exec task, the current assignment) survives —
+  /// a drafted-out member may still owe an earlier cohort its execution.
+  void RetireFromOc();
+  /// Joins the ordering committee: fresh OC scratch plus a coordinator —
+  /// `handoff` (the outgoing leader's, with its locked S-sets and retry
+  /// bookkeeping in flight across the boundary) when this node is the
+  /// incoming leader, or a newly-built one otherwise. ReconfigureEpoch
+  /// sends the kOrdering re-announce separately.
+  void JoinOc(std::unique_ptr<CrossShardCoordinator> handoff);
+  /// Leader-to-leader state hand-off across an epoch boundary: merges the
+  /// outgoing leader's witnessed bundles and exec-result pools so the
+  /// incoming leader can still propose listings for batches witnessed —
+  /// and results produced — under the previous committee.
+  void AdoptOcHandoff(
+      const std::map<uint64_t, std::map<std::string, WitnessedBlock>>&
+          bundles,
+      const std::map<std::pair<uint64_t, uint32_t>, PendingExec>& results);
 
   // --- Storage-link failover (runtime health model) -----------------------
   // Storage-bound requests (relays, state requests) carry a per-request
@@ -397,6 +438,7 @@ class StatelessNodeActor {
   crypto::KeyPair keys_;
   std::vector<net::NodeId> storages_;  // m connections; [0] is primary.
   AdvStrategy strategy_;
+  bool ever_malicious_ = false;
   bool in_oc_;
 
   uint64_t current_round_ = 0;
@@ -431,6 +473,15 @@ class StatelessNodeActor {
   net::SimTime last_new_round_at_ = 0;
   int resync_budget_ = 0;        ///< Watchdog rotations left this stretch.
   bool watchdog_armed_ = false;  ///< A watchdog event chain is live.
+  /// Connection index the watchdog last resynced during the current stall
+  /// (-1 once a fresh round arrives). Lets the watchdog distinguish "this
+  /// primary never got a chance to answer a resync" (try it before
+  /// rotating — per-request strikes may have just moved us to a live
+  /// storage node) from "we already asked this one and it did not help"
+  /// (rotate). Without it the watchdog rotates unconditionally, which can
+  /// resonate with strike-based rotations and bounce the node back onto a
+  /// dead primary every window until the budget dies.
+  int watchdog_resynced_idx_ = -1;
   bool probe_chain_active_ = false;
   bool probe_inflight_ = false;  ///< Readopt only on a probe answer.
   int probes_left_ = 0;
@@ -478,6 +529,10 @@ class StatelessNodeActor {
   tx::ProposalBlock pending_proposal_;  // Leader's own proposal content.
   std::map<std::string, tx::ProposalBlock> proposals_seen_;  // By hash.
   std::optional<crypto::Hash256> decided_hash_;
+  // The deciding cert-quorum, kept for retransmission: while the round
+  // stays open the timeout driver re-sends it (and the leader re-sends the
+  // commit), so lost hand-offs cannot strand a partially-decided committee.
+  std::optional<consensus::DecisionCert> decided_cert_;
 
   // --- Tree dissemination state (kTree only; empty in direct runs) --------
   // EC-side chunk reassembly, by block id: chunks received so far plus the
@@ -640,6 +695,9 @@ class PorygonSystem {
 
   /// Registered EC members for `round` (diagnostics).
   size_t RegisteredEcMembers(uint64_t round) const;
+  /// OC members whose epoch re-announce registered for `round`
+  /// (diagnostics; non-zero only at epoch boundaries).
+  size_t RegisteredOcMembers(uint64_t round) const;
 
  private:
   friend class StorageNodeActor;
@@ -765,6 +823,9 @@ class PorygonSystem {
     obs::Counter* failover_readoptions = nullptr;
     obs::Counter* failover_requeued_txs = nullptr;
     obs::Counter* storage_rejoins = nullptr;
+    /// Completed committee reconfigurations (`core.epochs`); 0 when
+    /// epoch_length is 0.
+    obs::Counter* epochs = nullptr;
     // Compute-pool fan-out (index counts: deterministic for any thread
     // count). Wall-clock time lives in volatile gauges, off the exports.
     obs::Counter* runtime_exec_tasks = nullptr;
@@ -797,6 +858,17 @@ class PorygonSystem {
 
   // --- Round driving -----------------------------------------------------
   void StartRound(uint64_t round);
+  /// Epoch boundary (round % epoch_length == 0, round > 0): re-runs VRF
+  /// sortition over the committed tip to re-draw the OC and its leader,
+  /// re-deals adversary placement for the new membership (leader exempt,
+  /// same α budget), migrates the outgoing leader's coordinator state and
+  /// witnessed-bundle pools to the incoming leader, rebuilds the canonical
+  /// oc_keys_/oc_net_ids_ vote-cert ordering, relabels node roles for link
+  /// attribution, and has every new member re-announce kOrdering to the
+  /// storage layer. Pure function of (chain tip, node keys, adversary
+  /// spec): draws nothing from rng_, so exports stay byte-identical across
+  /// thread counts. Called by StartRound before work distribution.
+  void ReconfigureEpoch(uint64_t round);
   void MaybeScheduleNextRound();
   void OnBlockCommitted(const tx::ProposalBlock& block, net::SimTime when);
   void AdvanceExecState(uint64_t exec_round);

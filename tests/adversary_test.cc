@@ -16,6 +16,7 @@
 #include "core/system.h"
 #include "net/network.h"
 #include "obs/metrics.h"
+#include "workload/soak.h"
 
 namespace porygon::core {
 namespace {
@@ -74,10 +75,20 @@ std::unique_ptr<PorygonSystem> RunAdversarial(const std::string& spec,
   return sys;
 }
 
-std::vector<crypto::Hash256> ChainHashes(const PorygonSystem& sys) {
-  std::vector<crypto::Hash256> hashes;
-  for (const auto& block : sys.chain()) hashes.push_back(block.Hash());
-  return hashes;
+/// Safety assertions shared with the chaos-soak harness: the adversarial
+/// run must commit the clean run's exact chain and final GlobalRoot,
+/// replay cleanly, and hold evidence only against corrupted nodes.
+void ExpectSameCommittedState(PorygonSystem& sys, PorygonSystem& clean) {
+  workload::InvariantChecker checker;
+  EXPECT_TRUE(checker.CheckSameChain(sys, clean).ok());
+  EXPECT_TRUE(checker
+                  .CheckRootsMatch(sys.canonical_state().GlobalRoot(),
+                                   clean.canonical_state().GlobalRoot(),
+                                   sys.metrics().committed_blocks())
+                  .ok());
+  EXPECT_TRUE(checker.CheckNoReplayMismatches(sys).ok());
+  EXPECT_TRUE(checker.CheckEvidenceOnlyAgainstMalicious(sys).ok());
+  for (const std::string& v : checker.violations()) ADD_FAILURE() << v;
 }
 
 uint64_t Rejected(const PorygonSystem& sys, const char* reason) {
@@ -227,8 +238,6 @@ TEST(AdversaryTest, HonestChainSurvivesEveryStrategyAtPaperBounds) {
   // large enough that α = 1/4 leaves an honest majority everywhere.
   constexpr int kNodes = 38;
   auto clean = RunAdversarial("", false, false, 0, kNodes);
-  const auto clean_chain = ChainHashes(*clean);
-  const auto clean_root = clean->canonical_state().GlobalRoot();
   const uint64_t clean_blocks = clean->metrics().committed_blocks();
   ASSERT_EQ(clean_blocks, 10u);
   ASSERT_GT(clean->metrics().committed_txs(), 0u);
@@ -246,9 +255,7 @@ TEST(AdversaryTest, HonestChainSurvivesEveryStrategyAtPaperBounds) {
     // Liveness: every round still closes. Safety: the honest nodes commit
     // exactly the clean run's blocks and converge on its final state root.
     EXPECT_EQ(sys->metrics().committed_blocks(), clean_blocks);
-    EXPECT_EQ(ChainHashes(*sys), clean_chain);
-    EXPECT_EQ(sys->canonical_state().GlobalRoot(), clean_root);
-    EXPECT_EQ(sys->metrics().replay_mismatches(), 0u);
+    ExpectSameCommittedState(*sys, *clean);
     // The adversary really did act; it just didn't get anywhere.
     EXPECT_GT(sys->adversary()->actions(), 0u);
   }
@@ -305,12 +312,9 @@ TEST(AdversaryTest, TamperedStateRepliesFailTheProofCrossCheck) {
   auto sys = RunAdversarial("storage:tamper-state,beta:0.5", /*faithful=*/true);
   EXPECT_GT(Rejected(*sys, "bad_state_proof"), 0u);
   EXPECT_GT(sys->adversary()->actions(), 0u);
-  EXPECT_EQ(sys->metrics().replay_mismatches(), 0u);
   EXPECT_EQ(sys->metrics().committed_blocks(),
             clean->metrics().committed_blocks());
-  EXPECT_EQ(ChainHashes(*sys), ChainHashes(*clean));
-  EXPECT_EQ(sys->canonical_state().GlobalRoot(),
-            clean->canonical_state().GlobalRoot());
+  ExpectSameCommittedState(*sys, *clean);
 }
 
 TEST(AdversaryTest, StaleResyncRepliesAreRejectedWithoutStalling) {
